@@ -1,0 +1,47 @@
+"""Ablation (DESIGN.md decision 1): backward + parameter sync in the sim.
+
+The task graph models the full training iteration -- forward, mirrored
+backward, and ring all-reduce parameter synchronization.  Ablating it to
+forward-only collapses the cost of data parallelism's weakness (parameter
+traffic), which is exactly the signal that drives the paper's results:
+a forward-only simulator sees almost no difference between data
+parallelism and a parameter-dimension split of a large dense layer.
+"""
+
+from repro.bench.reporting import print_table
+from repro.machine.clusters import p100_cluster
+from repro.models.rnn import rnnlm
+from repro.profiler.profiler import OpProfiler
+from repro.sim.simulator import simulate_strategy
+from repro.soap.presets import data_parallelism, expert_strategy
+
+from conftest import run_once
+
+
+def _rows():
+    graph = rnnlm(batch=64, steps=6, hidden=1024, vocab=4000)
+    topo = p100_cluster(4, 4)
+    profiler = OpProfiler()
+    rows = []
+    for training in (True, False):
+        dp = simulate_strategy(graph, topo, data_parallelism(graph, topo), profiler, training=training)
+        ex = simulate_strategy(graph, topo, expert_strategy(graph, topo), profiler, training=training)
+        rows.append(
+            {
+                "mode": "training (fwd+bwd+sync)" if training else "forward only",
+                "dp_ms": dp.makespan_us / 1e3,
+                "expert_ms": ex.makespan_us / 1e3,
+                "dp_comm_GB": dp.total_comm_gb,
+                "expert_comm_GB": ex.total_comm_gb,
+            }
+        )
+    return rows
+
+
+def test_ablation_taskgraph(benchmark, scale):
+    rows = run_once(benchmark, _rows)
+    print_table(rows, "Ablation -- full-iteration vs forward-only task graph")
+    training, fwd_only = rows[0], rows[1]
+    # Forward-only simulation hides most of data parallelism's
+    # synchronization traffic.
+    assert training["dp_comm_GB"] > fwd_only["dp_comm_GB"] * 2.0, rows

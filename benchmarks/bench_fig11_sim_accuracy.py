@@ -1,0 +1,21 @@
+"""Figure 11: simulator accuracy against measured execution.
+
+Paper result: for all measured executions the relative difference between
+real and simulated time is under 30%, and simulated times preserve the
+real-execution ordering of strategies for a given application/machine.
+"""
+
+from repro.bench.figures import fig11_sim_accuracy
+from repro.bench.reporting import print_table
+
+from conftest import run_once
+
+
+def test_fig11(benchmark, scale):
+    rows = run_once(benchmark, lambda: fig11_sim_accuracy(scale))
+    print_table(rows, "Figure 11 -- simulated vs measured execution time")
+    for r in rows:
+        assert -5.0 <= r["rel_diff_%"] <= 35.0, r
+    setups = {(r["model"], r["setup"]): r["order_preserved"] for r in rows}
+    preserved = sum(bool(v) for v in setups.values())
+    assert preserved >= len(setups) * 0.75, setups

@@ -1,0 +1,20 @@
+"""Figure 13: case study -- best Inception-v3 strategy on 4 P100 GPUs.
+
+Paper result: the discovered strategy uses intra-op parallelism on the
+critical path and inter-op parallelism across Inception branches,
+reducing per-iteration time by ~12% and parameter-synchronization cost by
+~75% vs data parallelism.
+"""
+
+from repro.bench.figures import fig13_fig14_case_study
+from repro.bench.reporting import print_table
+
+from conftest import run_once
+
+
+def test_fig13(benchmark, scale):
+    rows, rendering = run_once(benchmark, lambda: fig13_fig14_case_study(scale, "inception_v3"))
+    print_table(rows, "Figure 13 -- Inception-v3 on 4 P100")
+    print(rendering[:2500])
+    dp, ff = rows[0], rows[1]
+    assert ff["iter_ms"] <= dp["iter_ms"] * 1.001

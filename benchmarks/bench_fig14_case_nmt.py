@@ -1,0 +1,24 @@
+"""Figure 14: case study -- best NMT strategy on 4 P100 GPUs.
+
+Paper result: heterogeneous per-layer configurations -- the embedding
+layer concentrates on few GPUs, the softmax layer parallelizes along the
+channel (parameter) dimension, and the LSTM/attention layers combine
+inter-layer concurrency with intra-op parallelism.
+"""
+
+from repro.bench.figures import fig13_fig14_case_study
+from repro.bench.reporting import print_table
+
+from conftest import run_once
+
+
+def test_fig14(benchmark, scale):
+    rows, rendering = run_once(benchmark, lambda: fig13_fig14_case_study(scale, "nmt"))
+    print_table(rows, "Figure 14 -- NMT on 4 P100")
+    print(rendering)
+    dp, ff = rows[0], rows[1]
+    assert ff["iter_ms"] <= dp["iter_ms"] * 1.001
+    # The discovered strategy should cut communication vs data parallelism
+    # (parameter-dimension splits shard the big tables instead of
+    # replicating them).
+    assert ff["comm_GB"] <= dp["comm_GB"] * 1.05

@@ -1,0 +1,20 @@
+"""Figure 9: end-to-end training curves (Inception-v3, 16 P100).
+
+Paper result: FlexFlow reaches the target accuracy in 38% less time than
+TensorFlow.  Both systems run the same computation, so the loss-vs-
+iteration curve is shared and the end-to-end gap equals the
+per-iteration-time ratio (see DESIGN.md for the substitution).
+"""
+
+from repro.bench.figures import fig9_end_to_end
+from repro.bench.reporting import print_table
+
+from conftest import run_once
+
+
+def test_fig9(benchmark, scale):
+    rows = run_once(benchmark, lambda: fig9_end_to_end(scale))
+    print_table(rows, "Figure 9 -- end-to-end training time to target loss")
+    tf, ff = rows[0], rows[1]
+    assert ff["time_to_target_s"] <= tf["time_to_target_s"] * 1.001
+    assert ff["iters_to_target"] == tf["iters_to_target"]  # same computation

@@ -1,0 +1,23 @@
+"""Section 8.4: search quality against global optima on small spaces.
+
+Paper result: on LeNet and a 2-step RNNLM with 4 GPUs, the MCMC search
+finds the globally optimal strategy located by exhaustive (A*-pruned)
+enumeration; on larger spaces every returned strategy is locally optimal.
+"""
+
+from repro.bench.figures import sec84_optimality
+from repro.bench.reporting import print_table
+
+from conftest import run_once
+
+
+def test_sec84(benchmark, scale):
+    rows = run_once(benchmark, lambda: sec84_optimality(scale))
+    print_table(rows, "Section 8.4 -- MCMC vs exhaustive optimum")
+    for r in rows:
+        # mini_mlp is enumerated over the full space: MCMC must match the
+        # global optimum.  mini_rnnlm's exhaustive pass is truncated, so
+        # MCMC (searching the larger full space) must land within a small
+        # slack of that reference point.
+        slack = 1.001 if "mlp" in r["case"] else 1.05
+        assert r["mcmc_ms"] <= r["optimal_ms"] * slack, r

@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to CI scale (reduced unrolls/budgets/device counts) so
+the suite completes offline in minutes; set ``REPRO_FULL=1`` for
+paper-scale parameters.  Every bench prints its paper-style table to
+stdout (run pytest with ``-s`` to see them) and asserts the qualitative
+claims of the corresponding figure.
+"""
+
+import pytest
+
+from repro.bench.harness import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+def run_once(benchmark, fn):
+    """Time a single execution of an experiment function."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

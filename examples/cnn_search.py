@@ -1,0 +1,54 @@
+"""Parallelizing Inception-v3 across a multi-node P100 cluster.
+
+Reproduces the Figure 13 workflow: compare data parallelism, the
+"one weird trick" expert strategy, and the SOAP search on the paper's
+P100 cluster, then show where the discovered strategy spends its time.
+
+Run:  python examples/cnn_search.py [--gpus 8] [--iters 300]
+"""
+
+import argparse
+
+from repro.bench import print_table, strategy_rows
+from repro.machine import p100_cluster
+from repro.models import inception_v3
+from repro.profiler import OpProfiler
+from repro.search import optimize
+from repro.sim import TaskGraph, full_simulate
+from repro.soap import data_parallelism, expert_strategy
+from repro.viz import device_utilization_bars
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--gpus", type=int, default=8, choices=(4, 8, 16))
+    ap.add_argument("--iters", type=int, default=300)
+    args = ap.parse_args()
+
+    graph = inception_v3(batch=64)
+    topo = p100_cluster(num_nodes=max(1, args.gpus // 4), gpus_per_node=min(4, args.gpus))
+    profiler = OpProfiler()
+    print(f"Inception-v3 ({graph.num_ops} ops) on {topo.name}\n")
+
+    result = optimize(graph, topo, profiler=profiler, budget_iters=args.iters, seed=0)
+    rows = strategy_rows(
+        graph,
+        topo,
+        batch=64,
+        strategies={
+            "data_parallel": data_parallelism(graph, topo),
+            "expert (OWT)": expert_strategy(graph, topo),
+            "flexflow": result.best_strategy,
+        },
+        profiler=profiler,
+    )
+    print_table(rows, "Per-iteration comparison")
+    print(result.summary(), "\n")
+
+    tg = TaskGraph(graph, topo, result.best_strategy, profiler)
+    print("Device utilization under the discovered strategy:")
+    print(device_utilization_bars(tg, full_simulate(tg)))
+
+
+if __name__ == "__main__":
+    main()

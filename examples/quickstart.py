@@ -1,0 +1,43 @@
+"""Quickstart: find a parallelization strategy for LeNet on 4 GPUs.
+
+Builds an operator graph, describes a machine, runs the execution
+optimizer, and prints the discovered strategy next to the data-parallel
+baseline -- the minimal end-to-end tour of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.machine import single_node
+from repro.models import lenet
+from repro.profiler import OpProfiler
+from repro.search import optimize
+from repro.sim import simulate_strategy
+from repro.soap import data_parallelism
+from repro.viz import render_strategy
+
+
+def main() -> None:
+    # 1. The application: an operator graph (Section 3.1).
+    graph = lenet(batch=64)
+    print(graph.describe(), "\n")
+
+    # 2. The machine: four P100 GPUs on one NVLink node.
+    topo = single_node(4, "p100")
+    print(topo.describe(), "\n")
+
+    # 3. The baseline every framework gives you: data parallelism.
+    profiler = OpProfiler()
+    dp = simulate_strategy(graph, topo, data_parallelism(graph, topo), profiler)
+    print(f"data parallelism: {dp.makespan_us / 1e3:.3f} ms/iteration, "
+          f"{dp.total_comm_gb * 1e3:.1f} MB moved\n")
+
+    # 4. The execution optimizer: MCMC over the SOAP space (Section 6).
+    result = optimize(graph, topo, profiler=profiler, budget_iters=500, seed=0)
+    print(result.summary(), "\n")
+
+    # 5. What the strategy looks like (cf. Figure 13's rendering).
+    print(render_strategy(graph, result.best_strategy))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for the offline execution environment.
+
+The environment pins setuptools 65.5.0, which crashes on pyproject-only
+builds with ``AttributeError: 'Distribution' object has no attribute
+'include_package_data'`` (setuptools issue #3586, fixed in 65.5.1).
+Passing the attribute explicitly here sidesteps the bug; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup(include_package_data=False)

@@ -1,0 +1,6 @@
+"""Automated-framework baselines the paper compares against (Section 8.2.3)."""
+
+from repro.baselines.optcnn import OptCNNResult, optcnn_optimize
+from repro.baselines.reinforce import ReinforceResult, reinforce_optimize
+
+__all__ = ["OptCNNResult", "optcnn_optimize", "ReinforceResult", "reinforce_optimize"]

@@ -1,0 +1,26 @@
+"""Benchmark harness: one experiment per paper table/figure (Section 8)."""
+
+from repro.bench.harness import (
+    BenchScale,
+    baseline_strategies,
+    bench_model,
+    cluster,
+    current_scale,
+    evaluate_strategy,
+    scaled_device_counts,
+    strategy_rows,
+)
+from repro.bench.reporting import format_table, print_table
+
+__all__ = [
+    "BenchScale",
+    "baseline_strategies",
+    "bench_model",
+    "cluster",
+    "current_scale",
+    "evaluate_strategy",
+    "scaled_device_counts",
+    "strategy_rows",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,40 @@
+"""Tabular reporting for benchmark results (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(rows: Sequence[dict[str, Any]], title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    cols = list(rows[0].keys())
+    cells = [[_fmt(r.get(c)) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[dict[str, Any]], title: str | None = None) -> None:
+    print("\n" + format_table(rows, title) + "\n")
+
+
+def _fmt(v: Any) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)

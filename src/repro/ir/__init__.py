@@ -1,0 +1,41 @@
+"""Operator-graph intermediate representation (Section 3.1 of the paper)."""
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.dims import CHANNEL, HEIGHT, LENGTH, SAMPLE, WIDTH, Dim, DimKind, Region, TensorShape
+from repro.ir.graph import Edge, OperatorGraph
+from repro.ir.op_conv import Conv1D, Conv2D, Pool1D, Pool2D
+from repro.ir.op_dense import Embedding, Flatten, MatMul, Softmax
+from repro.ir.op_misc import BatchNorm, Concat, Elementwise, Input
+from repro.ir.op_rnn import Attention, LSTMCell
+from repro.ir.ops import Operation, ParamSpec
+
+__all__ = [
+    "GraphBuilder",
+    "Dim",
+    "DimKind",
+    "Region",
+    "TensorShape",
+    "Edge",
+    "OperatorGraph",
+    "Operation",
+    "ParamSpec",
+    "Conv1D",
+    "Conv2D",
+    "Pool1D",
+    "Pool2D",
+    "Embedding",
+    "Flatten",
+    "MatMul",
+    "Softmax",
+    "BatchNorm",
+    "Concat",
+    "Elementwise",
+    "Input",
+    "Attention",
+    "LSTMCell",
+    "SAMPLE",
+    "CHANNEL",
+    "HEIGHT",
+    "WIDTH",
+    "LENGTH",
+]

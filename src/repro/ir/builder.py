@@ -1,0 +1,282 @@
+"""Fluent graph construction API.
+
+``GraphBuilder`` tracks the output shape of every inserted op so callers
+never repeat batch sizes or spatial extents -- the model zoo in
+:mod:`repro.models` is written entirely against this interface:
+
+>>> b = GraphBuilder("lenet", batch=64)
+>>> x = b.image_input(channels=1, hw=(28, 28))
+>>> x = b.conv2d(x, 6, kernel=(5, 5))
+>>> x = b.pool2d(x)
+>>> x = b.flatten(x)
+>>> x = b.dense(x, 10)
+>>> x = b.softmax(x)
+>>> graph = b.graph
+"""
+
+from __future__ import annotations
+
+from repro.ir.dims import TensorShape
+from repro.ir.graph import OperatorGraph
+from repro.ir.op_conv import Conv1D, Conv2D, Pool1D, Pool2D
+from repro.ir.op_dense import Embedding, Flatten, MatMul, Softmax
+from repro.ir.op_misc import BatchNorm, Concat, Elementwise, Input
+from repro.ir.op_rnn import Attention, LSTMCell
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Builds an :class:`~repro.ir.graph.OperatorGraph` incrementally.
+
+    Every method inserts one op and returns its id; ids are the handles
+    threaded through subsequent calls.  Op names are auto-generated from a
+    per-prefix counter unless given explicitly.
+    """
+
+    def __init__(self, name: str = "graph", batch: int = 64):
+        self.graph = OperatorGraph(name)
+        self.batch = batch
+        self._counters: dict[str, int] = {}
+
+    def _name(self, prefix: str, explicit: str | None) -> str:
+        if explicit is not None:
+            return explicit
+        n = self._counters.get(prefix, 0)
+        self._counters[prefix] = n + 1
+        return f"{prefix}{n}"
+
+    def shape_of(self, oid: int) -> TensorShape:
+        """Output shape of a previously inserted op."""
+        return self.graph.op(oid).out_shape
+
+    # -- sources -----------------------------------------------------------
+    def input(self, shape: TensorShape, name: str | None = None) -> int:
+        return self.graph.add_op(Input(self._name("input", name), shape))
+
+    def image_input(self, channels: int, hw: tuple[int, int], name: str | None = None) -> int:
+        shape = TensorShape.of(4, sample=self.batch, channel=channels, height=hw[0], width=hw[1])
+        return self.input(shape, name)
+
+    def token_input(self, seq_len: int | None = None, name: str | None = None) -> int:
+        """Token-id input: (sample, length), or (sample,) for one step."""
+        if seq_len is None:
+            shape = TensorShape.of(4, sample=self.batch)
+        else:
+            shape = TensorShape.of(4, sample=self.batch, length=seq_len)
+        return self.input(shape, name)
+
+    # -- convolution / pooling ------------------------------------------------
+    def conv2d(
+        self,
+        x: int,
+        out_channels: int,
+        kernel: tuple[int, int] = (3, 3),
+        stride: tuple[int, int] = (1, 1),
+        padding: tuple[int, int] | str = (0, 0),
+        activation: str | None = "relu",
+        name: str | None = None,
+    ) -> int:
+        s = self.shape_of(x)
+        if padding == "same":
+            padding = (kernel[0] // 2, kernel[1] // 2)
+        op = Conv2D(
+            self._name("conv", name),
+            batch=s.size("sample"),
+            in_channels=s.size("channel"),
+            out_channels=out_channels,
+            in_hw=(s.size("height"), s.size("width")),
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            activation=activation,
+        )
+        return self.graph.add_op(op, [x])
+
+    def pool2d(
+        self,
+        x: int,
+        kernel: tuple[int, int] = (2, 2),
+        stride: tuple[int, int] | None = None,
+        padding: tuple[int, int] = (0, 0),
+        kind: str = "max",
+        name: str | None = None,
+    ) -> int:
+        s = self.shape_of(x)
+        op = Pool2D(
+            self._name("pool", name),
+            batch=s.size("sample"),
+            channels=s.size("channel"),
+            in_hw=(s.size("height"), s.size("width")),
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            kind=kind,
+        )
+        return self.graph.add_op(op, [x])
+
+    def global_avg_pool(self, x: int, name: str | None = None) -> int:
+        s = self.shape_of(x)
+        return self.pool2d(
+            x, kernel=(s.size("height"), s.size("width")), kind="avg", name=self._name("gap", name)
+        )
+
+    def conv1d(
+        self,
+        x: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        activation: str | None = "relu",
+        name: str | None = None,
+    ) -> int:
+        s = self.shape_of(x)
+        op = Conv1D(
+            self._name("conv1d", name),
+            batch=s.size("sample"),
+            in_channels=s.size("channel"),
+            out_channels=out_channels,
+            in_length=s.size("length"),
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            activation=activation,
+        )
+        return self.graph.add_op(op, [x])
+
+    def pool1d(
+        self, x: int, kernel: int = 2, stride: int | None = None, kind: str = "max", name: str | None = None
+    ) -> int:
+        s = self.shape_of(x)
+        op = Pool1D(
+            self._name("pool1d", name),
+            batch=s.size("sample"),
+            channels=s.size("channel"),
+            in_length=s.size("length"),
+            kernel=kernel,
+            stride=stride,
+            kind=kind,
+        )
+        return self.graph.add_op(op, [x])
+
+    # -- dense family ---------------------------------------------------------
+    def dense(
+        self,
+        x: int,
+        out_dim: int,
+        activation: str | None = None,
+        name: str | None = None,
+        param_group: str | None = None,
+    ) -> int:
+        s = self.shape_of(x)
+        op = MatMul(
+            self._name("dense", name),
+            batch=s.size("sample"),
+            in_dim=s.size("channel"),
+            out_dim=out_dim,
+            seq_len=s.size("length") if "length" in s else None,
+            activation=activation,
+        )
+        op.param_group = param_group
+        return self.graph.add_op(op, [x])
+
+    def embedding(
+        self,
+        tokens: int,
+        vocab: int,
+        embed_dim: int,
+        name: str | None = None,
+        param_group: str | None = None,
+    ) -> int:
+        s = self.shape_of(tokens)
+        op = Embedding(
+            self._name("embed", name),
+            batch=s.size("sample"),
+            vocab=vocab,
+            embed_dim=embed_dim,
+            seq_len=s.size("length") if "length" in s else None,
+        )
+        op.param_group = param_group
+        return self.graph.add_op(op, [tokens])
+
+    def softmax(self, x: int, name: str | None = None) -> int:
+        s = self.shape_of(x)
+        op = Softmax(
+            self._name("softmax", name),
+            batch=s.size("sample"),
+            num_classes=s.size("channel"),
+            seq_len=s.size("length") if "length" in s else None,
+        )
+        return self.graph.add_op(op, [x])
+
+    def flatten(self, x: int, name: str | None = None) -> int:
+        s = self.shape_of(x)
+        op = Flatten(
+            self._name("flatten", name),
+            batch=s.size("sample"),
+            channels=s.size("channel"),
+            in_hw=(s.size("height"), s.size("width")),
+        )
+        return self.graph.add_op(op, [x])
+
+    # -- recurrent ---------------------------------------------------------------
+    def lstm(
+        self,
+        x: int,
+        hidden: int,
+        h_prev: int | None = None,
+        name: str | None = None,
+        param_group: str | None = None,
+    ) -> int:
+        s = self.shape_of(x)
+        op = LSTMCell(
+            self._name("lstm", name),
+            batch=s.size("sample"),
+            in_dim=s.size("channel"),
+            hidden=hidden,
+            has_state_input=h_prev is not None,
+        )
+        op.param_group = param_group
+        inputs = [x] if h_prev is None else [x, h_prev]
+        return self.graph.add_op(op, inputs)
+
+    def attention(
+        self,
+        dec_h: int,
+        enc_states: list[int],
+        name: str | None = None,
+        param_group: str | None = None,
+    ) -> int:
+        """Attention over per-step encoder states (NMT decoder step)."""
+        hs = self.shape_of(dec_h)
+        op = Attention(
+            self._name("attention", name),
+            batch=hs.size("sample"),
+            hidden=hs.size("channel"),
+            src_len=len(enc_states),
+        )
+        op.param_group = param_group
+        return self.graph.add_op(op, [dec_h, *enc_states])
+
+    # -- structural / elementwise --------------------------------------------------
+    def concat(self, xs: list[int], axis: str = "channel", name: str | None = None) -> int:
+        shapes = tuple(self.shape_of(x) for x in xs)
+        op = Concat(self._name("concat", name), shapes, axis)
+        return self.graph.add_op(op, xs)
+
+    def add(self, a: int, b: int, name: str | None = None) -> int:
+        op = Elementwise(self._name("add", name), "add", self.shape_of(a), arity=2)
+        return self.graph.add_op(op, [a, b])
+
+    def relu(self, x: int, name: str | None = None) -> int:
+        op = Elementwise(self._name("relu", name), "relu", self.shape_of(x))
+        return self.graph.add_op(op, [x])
+
+    def elementwise(self, xs: list[int], kind: str, name: str | None = None) -> int:
+        op = Elementwise(self._name(kind, name), kind, self.shape_of(xs[0]), arity=len(xs))
+        return self.graph.add_op(op, xs)
+
+    def batch_norm(self, x: int, name: str | None = None) -> int:
+        op = BatchNorm(self._name("bn", name), self.shape_of(x))
+        return self.graph.add_op(op, [x])

@@ -1,0 +1,275 @@
+"""Named tensor dimensions, shapes, and rectangular regions.
+
+FlexFlow models the parallelization of an operation by partitioning its
+*output tensor* along named dimensions (Section 4 of the paper).  Every
+dimension therefore carries a :class:`DimKind` that classifies it for the
+SOAP search space:
+
+* ``SAMPLE`` -- indexes training samples (the batch dimension).  Always
+  parallelizable; partitioning it yields data parallelism.
+* ``ATTRIBUTE`` -- indexes positions *within* a sample (image height/width,
+  sequence length).  Partitioning it does not split model parameters.
+* ``PARAMETER`` -- partitioning it requires splitting the model parameters
+  (e.g. output channels of a convolution, output features of a matmul).
+* ``NONE`` -- a dimension that the operation cannot be partitioned along
+  (e.g. the reduction channel of a softmax).
+
+Shapes are small immutable tuples of named dimensions; regions are
+half-open hyper-rectangles over a shape.  Both are hashable so they can key
+profiler caches and task-graph deduplication tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "DimKind",
+    "Dim",
+    "TensorShape",
+    "Region",
+    "SAMPLE",
+    "CHANNEL",
+    "HEIGHT",
+    "WIDTH",
+    "LENGTH",
+]
+
+# Canonical dimension names used across the operator library.
+SAMPLE = "sample"
+CHANNEL = "channel"
+HEIGHT = "height"
+WIDTH = "width"
+LENGTH = "length"
+
+
+class DimKind(enum.Enum):
+    """Classification of a tensor dimension for the SOAP search space."""
+
+    SAMPLE = "S"
+    ATTRIBUTE = "A"
+    PARAMETER = "P"
+    NONE = "-"
+
+    @property
+    def parallelizable(self) -> bool:
+        """Whether an operation may be partitioned along this dimension."""
+        return self is not DimKind.NONE
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A single named tensor dimension.
+
+    Parameters
+    ----------
+    name:
+        Dimension name (``"sample"``, ``"channel"``, ...).  Names must be
+        unique within a :class:`TensorShape`.
+    size:
+        Extent of the dimension; must be positive.
+    """
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"dimension {self.name!r} must have positive size, got {self.size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}={self.size}"
+
+
+class TensorShape:
+    """An ordered collection of named dimensions plus an element size.
+
+    The shape is immutable and hashable.  Dimension order is significant
+    (it defines the row-major task enumeration order used by
+    :mod:`repro.soap.partition`), but most lookups are by name.
+    """
+
+    __slots__ = ("_dims", "_index", "dtype_bytes", "_hash")
+
+    def __init__(self, dims: Iterable[Dim], dtype_bytes: int = 4):
+        dims = tuple(dims)
+        names = [d.name for d in dims]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names in shape: {names}")
+        if dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        object.__setattr__(self, "_dims", dims)
+        object.__setattr__(self, "_index", {d.name: i for i, d in enumerate(dims)})
+        object.__setattr__(self, "dtype_bytes", dtype_bytes)
+        object.__setattr__(self, "_hash", hash((dims, dtype_bytes)))
+
+    def __setattr__(self, name: str, value: object) -> None:  # immutability guard
+        raise AttributeError("TensorShape is immutable")
+
+    @classmethod
+    def of(cls, dtype_bytes: int = 4, /, **dims: int) -> "TensorShape":
+        """Build a shape from keyword dimension sizes, in keyword order."""
+        return cls([Dim(n, s) for n, s in dims.items()], dtype_bytes=dtype_bytes)
+
+    # -- basic accessors ---------------------------------------------------
+    @property
+    def dims(self) -> tuple[Dim, ...]:
+        return self._dims
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self._dims)
+
+    def __len__(self) -> int:
+        return len(self._dims)
+
+    def __iter__(self) -> Iterator[Dim]:
+        return iter(self._dims)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def size(self, name: str) -> int:
+        """Extent of the dimension called ``name``."""
+        return self._dims[self._index[name]].size
+
+    def axis(self, name: str) -> int:
+        """Positional index of the dimension called ``name``."""
+        return self._index[name]
+
+    @property
+    def volume(self) -> int:
+        """Total number of elements."""
+        v = 1
+        for d in self._dims:
+            v *= d.size
+        return v
+
+    @property
+    def bytes(self) -> int:
+        """Total storage size in bytes."""
+        return self.volume * self.dtype_bytes
+
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(d.size for d in self._dims)
+
+    # -- regions -----------------------------------------------------------
+    def full_region(self) -> "Region":
+        """The region covering the entire tensor."""
+        return Region(tuple((d.name, 0, d.size) for d in self._dims))
+
+    # -- equality / hashing / repr ------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TensorShape):
+            return NotImplemented
+        return self._dims == other._dims and self.dtype_bytes == other.dtype_bytes
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{d.name}={d.size}" for d in self._dims)
+        return f"TensorShape({inner})"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open hyper-rectangle over a :class:`TensorShape`.
+
+    ``ranges`` is a tuple of ``(dim_name, start, stop)`` triples in the
+    shape's dimension order.  Regions are the currency of the partitioning
+    machinery: a parallelization configuration assigns each task an output
+    region, and each operation knows how to map an output region to the
+    input regions it must read (:meth:`repro.ir.ops.Operation.input_region`).
+    """
+
+    ranges: tuple[tuple[str, int, int], ...]
+
+    def __post_init__(self) -> None:
+        for name, lo, hi in self.ranges:
+            if lo < 0 or hi < lo:
+                raise ValueError(f"invalid range for {name!r}: [{lo}, {hi})")
+
+    # -- accessors ----------------------------------------------------------
+    def range(self, name: str) -> tuple[int, int]:
+        for n, lo, hi in self.ranges:
+            if n == name:
+                return (lo, hi)
+        raise KeyError(name)
+
+    def extent(self, name: str) -> int:
+        lo, hi = self.range(name)
+        return hi - lo
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(n for n, _, _ in self.ranges)
+
+    @property
+    def volume(self) -> int:
+        v = 1
+        for _, lo, hi in self.ranges:
+            v *= hi - lo
+        return v
+
+    @property
+    def is_empty(self) -> bool:
+        return any(hi <= lo for _, lo, hi in self.ranges)
+
+    def extents(self) -> tuple[int, ...]:
+        return tuple(hi - lo for _, lo, hi in self.ranges)
+
+    # -- algebra --------------------------------------------------------------
+    def intersect(self, other: "Region") -> "Region | None":
+        """Intersection with ``other`` (same dims), or ``None`` if empty.
+
+        Both regions must be over the same dimension names in the same
+        order; this is checked and raises ``ValueError`` on mismatch.
+        """
+        if self.names != other.names:
+            raise ValueError(f"region dim mismatch: {self.names} vs {other.names}")
+        out = []
+        for (n, lo1, hi1), (_, lo2, hi2) in zip(self.ranges, other.ranges):
+            lo, hi = max(lo1, lo2), min(hi1, hi2)
+            if hi <= lo:
+                return None
+            out.append((n, lo, hi))
+        return Region(tuple(out))
+
+    def overlap_volume(self, other: "Region") -> int:
+        inter = self.intersect(other)
+        return 0 if inter is None else inter.volume
+
+    def with_range(self, name: str, lo: int, hi: int) -> "Region":
+        """A copy of this region with the range of ``name`` replaced."""
+        found = False
+        out = []
+        for n, a, b in self.ranges:
+            if n == name:
+                out.append((n, lo, hi))
+                found = True
+            else:
+                out.append((n, a, b))
+        if not found:
+            raise KeyError(name)
+        return Region(tuple(out))
+
+    @classmethod
+    def build(cls, mapping: Mapping[str, tuple[int, int]], order: Iterable[str]) -> "Region":
+        """Build a region from a name->range mapping in the given dim order."""
+        return cls(tuple((n, mapping[n][0], mapping[n][1]) for n in order))
+
+    def to_slices(self, shape: TensorShape) -> tuple[slice, ...]:
+        """NumPy-style slices aligned to ``shape``'s dimension order."""
+        by_name = {n: (lo, hi) for n, lo, hi in self.ranges}
+        out = []
+        for d in shape.dims:
+            lo, hi = by_name.get(d.name, (0, d.size))
+            out.append(slice(lo, hi))
+        return tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{n}[{lo}:{hi}]" for n, lo, hi in self.ranges)
+        return f"Region({inner})"

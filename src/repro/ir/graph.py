@@ -1,0 +1,177 @@
+"""The operator graph: a DAG of operations connected by tensors.
+
+Mirrors Section 3.1 of the paper: each node is an operation, each edge
+``(o_i, o_j)`` is a tensor produced by ``o_i`` and consumed by ``o_j``.
+Operations are keyed by dense integer ids assigned at insertion; insertion
+order is required to be topological (an op's producers must already be in
+the graph), which lets the rest of the system iterate ``op_ids`` as a
+topological order without re-sorting.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.ir.ops import Operation
+
+__all__ = ["Edge", "OperatorGraph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A tensor edge: ``src``'s output feeds input slot ``slot`` of ``dst``."""
+
+    src: int
+    dst: int
+    slot: int
+
+
+class OperatorGraph:
+    """A directed acyclic graph of :class:`~repro.ir.ops.Operation` nodes."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._ops: dict[int, Operation] = {}
+        self._inputs: dict[int, tuple[int, ...]] = {}
+        self._consumers: dict[int, list[Edge]] = {}
+        self._by_name: dict[str, int] = {}
+        self._next_id = 0
+
+    # -- construction -----------------------------------------------------
+    def add_op(self, op: Operation, inputs: Iterable[int] = ()) -> int:
+        """Insert ``op`` fed by the outputs of ``inputs`` (slot order).
+
+        Validates arity and that each producer's output shape matches the
+        op's declared input shape for that slot.  Returns the new op id.
+        """
+        inputs = tuple(inputs)
+        if op.name in self._by_name:
+            raise ValueError(f"duplicate op name {op.name!r}")
+        if len(inputs) != len(op.input_shapes):
+            raise ValueError(
+                f"{op.name}: expected {len(op.input_shapes)} inputs, got {len(inputs)}"
+            )
+        for slot, src in enumerate(inputs):
+            if src not in self._ops:
+                raise KeyError(f"{op.name}: input op id {src} not in graph")
+            produced = self._ops[src].out_shape
+            expected = op.input_shapes[slot]
+            if produced != expected:
+                raise ValueError(
+                    f"{op.name} slot {slot}: shape mismatch -- producer "
+                    f"{self._ops[src].name} yields {produced!r}, expected {expected!r}"
+                )
+        op.validate_parallel_dims()
+        oid = self._next_id
+        self._next_id += 1
+        self._ops[oid] = op
+        self._inputs[oid] = inputs
+        self._consumers[oid] = []
+        self._by_name[op.name] = oid
+        for slot, src in enumerate(inputs):
+            self._consumers[src].append(Edge(src, oid, slot))
+        return oid
+
+    # -- queries ------------------------------------------------------------
+    def op(self, oid: int) -> Operation:
+        return self._ops[oid]
+
+    def id_of(self, name: str) -> int:
+        return self._by_name[name]
+
+    @property
+    def op_ids(self) -> tuple[int, ...]:
+        """All op ids in insertion (= topological) order."""
+        return tuple(self._ops.keys())
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._ops)
+
+    def inputs_of(self, oid: int) -> tuple[int, ...]:
+        """Producer op ids feeding ``oid``, in input-slot order."""
+        return self._inputs[oid]
+
+    def consumers_of(self, oid: int) -> tuple[Edge, ...]:
+        """Edges from ``oid`` to each consumer (op, slot)."""
+        return tuple(self._consumers[oid])
+
+    def edges(self) -> Iterator[Edge]:
+        """All tensor edges in the graph."""
+        for oid in self._ops:
+            yield from self._consumers[oid]
+
+    def neighbors(self, oid: int) -> set[int]:
+        """Ops sharing a tensor edge with ``oid`` (producers + consumers)."""
+        out = set(self._inputs[oid])
+        out.update(e.dst for e in self._consumers[oid])
+        return out
+
+    # -- parameter groups -----------------------------------------------------
+    def group_key(self, oid: int) -> str:
+        """Weight-sharing group of an op (singleton key if unshared)."""
+        pg = self._ops[oid].param_group
+        return pg if pg is not None else f"op:{oid}"
+
+    def param_groups(self) -> dict[str, tuple[int, ...]]:
+        """All weight-sharing groups: group key -> member op ids."""
+        groups: dict[str, list[int]] = {}
+        for oid in self._ops:
+            groups.setdefault(self.group_key(oid), []).append(oid)
+        return {k: tuple(v) for k, v in groups.items()}
+
+    def group_members(self, oid: int) -> tuple[int, ...]:
+        """All ops sharing ``oid``'s parameters (including ``oid``)."""
+        key = self.group_key(oid)
+        if key.startswith("op:"):
+            return (oid,)
+        return tuple(o for o in self._ops if self._ops[o].param_group == key)
+
+    @property
+    def sources(self) -> tuple[int, ...]:
+        return tuple(oid for oid, ins in self._inputs.items() if not ins)
+
+    @property
+    def sinks(self) -> tuple[int, ...]:
+        return tuple(oid for oid in self._ops if not self._consumers[oid])
+
+    def topo_order(self) -> tuple[int, ...]:
+        """Topological order (identical to insertion order by invariant)."""
+        return self.op_ids
+
+    # -- aggregate statistics ------------------------------------------------
+    def total_flops(self) -> float:
+        """Forward FLOPs of one full iteration over the whole graph."""
+        return sum(op.flops_for(op.out_shape.full_region()) for op in self._ops.values())
+
+    def total_params(self) -> int:
+        """Total trainable parameter elements."""
+        return sum(op.param_volume for op in self._ops.values())
+
+    def is_linear(self) -> bool:
+        """True when the graph is a simple chain (OptCNN's assumption)."""
+        return all(len(self._inputs[oid]) <= 1 for oid in self._ops) and all(
+            len(self._consumers[oid]) <= 1 for oid in self._ops
+        )
+
+    def signature(self) -> int:
+        """A stable structural hash (used to key profiler/search caches)."""
+        parts = [self.name]
+        for oid, op in self._ops.items():
+            parts.append(f"{oid}:{type(op).__name__}:{op.out_shape!r}:{self._inputs[oid]}")
+        return zlib.crc32("|".join(parts).encode())
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the graph."""
+        lines = [f"OperatorGraph {self.name!r}: {self.num_ops} ops"]
+        for oid, op in self._ops.items():
+            ins = ",".join(str(i) for i in self._inputs[oid]) or "-"
+            lines.append(
+                f"  [{oid:>3}] {type(op).__name__:<12} {op.name:<28} in=({ins}) out={op.out_shape!r}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OperatorGraph({self.name!r}, ops={self.num_ops})"

@@ -1,0 +1,325 @@
+"""Convolution and pooling operations (1D and 2D).
+
+Parallelizable dimensions follow Table 1 of the paper:
+
+=====================  ========  =====================  ===========
+Operation              Sample    Attribute              Parameter
+=====================  ========  =====================  ===========
+1D pooling             sample    length, channel        --
+1D convolution         sample    length                 channel
+2D pooling             sample    height, width, channel --
+2D convolution         sample    height, width          channel
+=====================  ========  =====================  ===========
+
+Convolution output channels are a *parameter* dimension because
+partitioning them shards the filter bank; pooling has no parameters, so
+its channel dimension is an *attribute* dimension.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dims import DimKind, Region, TensorShape
+from repro.ir.ops import Operation, ParamSpec
+
+__all__ = ["Conv2D", "Pool2D", "Conv1D", "Pool1D"]
+
+
+def _window_range(lo: int, hi: int, stride: int, pad: int, kernel: int, in_size: int) -> tuple[int, int]:
+    """Input range needed for output positions [lo, hi) of a windowed op."""
+    in_lo = lo * stride - pad
+    in_hi = (hi - 1) * stride - pad + kernel
+    return max(0, in_lo), min(in_size, max(0, in_hi))
+
+
+def _out_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (in_size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(f"non-positive output extent: in={in_size} k={kernel} s={stride} p={pad}")
+    return out
+
+
+class Conv2D(Operation):
+    """2D convolution with optional fused bias/activation.
+
+    Batch-norm + activation fusion keeps the operator-graph size close to
+    the paper's layer counts (e.g. "102-layer" Inception-v3) and matches
+    how cuDNN-era frameworks execute these layers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        batch: int,
+        in_channels: int,
+        out_channels: int,
+        in_hw: tuple[int, int],
+        kernel: tuple[int, int] = (3, 3),
+        stride: tuple[int, int] = (1, 1),
+        padding: tuple[int, int] = (0, 0),
+        activation: str | None = "relu",
+        use_bias: bool = True,
+    ):
+        super().__init__(name)
+        self.batch = batch
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.in_hw = in_hw
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.activation = activation
+        self.use_bias = use_bias
+        self.out_hw = (
+            _out_size(in_hw[0], kernel[0], stride[0], padding[0]),
+            _out_size(in_hw[1], kernel[1], stride[1], padding[1]),
+        )
+        self._out_shape = TensorShape.of(
+            4, sample=batch, channel=out_channels, height=self.out_hw[0], width=self.out_hw[1]
+        )
+        self._in_shapes = (
+            TensorShape.of(4, sample=batch, channel=in_channels, height=in_hw[0], width=in_hw[1]),
+        )
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        return {
+            "sample": DimKind.SAMPLE,
+            "height": DimKind.ATTRIBUTE,
+            "width": DimKind.ATTRIBUTE,
+            "channel": DimKind.PARAMETER,
+        }
+
+    @property
+    def params(self) -> tuple[ParamSpec, ...]:
+        weight = ParamSpec(
+            "weight",
+            (self.out_channels, self.in_channels, self.kernel[0], self.kernel[1]),
+            partition_dim="channel",
+            axis=0,
+        )
+        if not self.use_bias:
+            return (weight,)
+        return (weight, ParamSpec("bias", (self.out_channels,), partition_dim="channel", axis=0))
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        s_lo, s_hi = out_region.range("sample")
+        h_lo, h_hi = _window_range(
+            *out_region.range("height"), self.stride[0], self.padding[0], self.kernel[0], self.in_hw[0]
+        )
+        w_lo, w_hi = _window_range(
+            *out_region.range("width"), self.stride[1], self.padding[1], self.kernel[1], self.in_hw[1]
+        )
+        return Region(
+            (
+                ("sample", s_lo, s_hi),
+                ("channel", 0, self.in_channels),
+                ("height", h_lo, h_hi),
+                ("width", w_lo, w_hi),
+            )
+        )
+
+    def flops_for(self, out_region: Region) -> float:
+        n, c, h, w = (out_region.extent(d) for d in ("sample", "channel", "height", "width"))
+        return 2.0 * n * c * h * w * self.in_channels * self.kernel[0] * self.kernel[1]
+
+    def static_attrs(self) -> tuple:
+        return (self.kernel, self.stride, self.padding, self.in_channels, self.activation)
+
+
+class Pool2D(Operation):
+    """2D max/average pooling.  Parameter-free: every dim is S or A."""
+
+    def __init__(
+        self,
+        name: str,
+        batch: int,
+        channels: int,
+        in_hw: tuple[int, int],
+        kernel: tuple[int, int] = (2, 2),
+        stride: tuple[int, int] | None = None,
+        padding: tuple[int, int] = (0, 0),
+        kind: str = "max",
+    ):
+        super().__init__(name)
+        if kind not in ("max", "avg"):
+            raise ValueError(f"unknown pooling kind {kind!r}")
+        stride = stride or kernel
+        self.batch = batch
+        self.channels = channels
+        self.in_hw = in_hw
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.kind = kind
+        self.out_hw = (
+            _out_size(in_hw[0], kernel[0], stride[0], padding[0]),
+            _out_size(in_hw[1], kernel[1], stride[1], padding[1]),
+        )
+        self._out_shape = TensorShape.of(
+            4, sample=batch, channel=channels, height=self.out_hw[0], width=self.out_hw[1]
+        )
+        self._in_shapes = (
+            TensorShape.of(4, sample=batch, channel=channels, height=in_hw[0], width=in_hw[1]),
+        )
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        return {
+            "sample": DimKind.SAMPLE,
+            "channel": DimKind.ATTRIBUTE,
+            "height": DimKind.ATTRIBUTE,
+            "width": DimKind.ATTRIBUTE,
+        }
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        s_lo, s_hi = out_region.range("sample")
+        c_lo, c_hi = out_region.range("channel")
+        h_lo, h_hi = _window_range(
+            *out_region.range("height"), self.stride[0], self.padding[0], self.kernel[0], self.in_hw[0]
+        )
+        w_lo, w_hi = _window_range(
+            *out_region.range("width"), self.stride[1], self.padding[1], self.kernel[1], self.in_hw[1]
+        )
+        return Region(
+            (("sample", s_lo, s_hi), ("channel", c_lo, c_hi), ("height", h_lo, h_hi), ("width", w_lo, w_hi))
+        )
+
+    def flops_for(self, out_region: Region) -> float:
+        return float(out_region.volume * self.kernel[0] * self.kernel[1])
+
+    def static_attrs(self) -> tuple:
+        return (self.kernel, self.stride, self.padding, self.kind)
+
+
+class Conv1D(Operation):
+    """1D convolution over (sample, channel, length) tensors."""
+
+    def __init__(
+        self,
+        name: str,
+        batch: int,
+        in_channels: int,
+        out_channels: int,
+        in_length: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        activation: str | None = "relu",
+        use_bias: bool = True,
+    ):
+        super().__init__(name)
+        self.batch = batch
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.in_length = in_length
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.activation = activation
+        self.use_bias = use_bias
+        self.out_length = _out_size(in_length, kernel, stride, padding)
+        self._out_shape = TensorShape.of(4, sample=batch, channel=out_channels, length=self.out_length)
+        self._in_shapes = (TensorShape.of(4, sample=batch, channel=in_channels, length=in_length),)
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        return {"sample": DimKind.SAMPLE, "length": DimKind.ATTRIBUTE, "channel": DimKind.PARAMETER}
+
+    @property
+    def params(self) -> tuple[ParamSpec, ...]:
+        weight = ParamSpec(
+            "weight", (self.out_channels, self.in_channels, self.kernel), partition_dim="channel", axis=0
+        )
+        if not self.use_bias:
+            return (weight,)
+        return (weight, ParamSpec("bias", (self.out_channels,), partition_dim="channel", axis=0))
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        s_lo, s_hi = out_region.range("sample")
+        l_lo, l_hi = _window_range(
+            *out_region.range("length"), self.stride, self.padding, self.kernel, self.in_length
+        )
+        return Region((("sample", s_lo, s_hi), ("channel", 0, self.in_channels), ("length", l_lo, l_hi)))
+
+    def flops_for(self, out_region: Region) -> float:
+        n, c, length = (out_region.extent(d) for d in ("sample", "channel", "length"))
+        return 2.0 * n * c * length * self.in_channels * self.kernel
+
+    def static_attrs(self) -> tuple:
+        return (self.kernel, self.stride, self.padding, self.in_channels, self.activation)
+
+
+class Pool1D(Operation):
+    """1D max/average pooling over (sample, channel, length) tensors."""
+
+    def __init__(
+        self,
+        name: str,
+        batch: int,
+        channels: int,
+        in_length: int,
+        kernel: int = 2,
+        stride: int | None = None,
+        padding: int = 0,
+        kind: str = "max",
+    ):
+        super().__init__(name)
+        if kind not in ("max", "avg"):
+            raise ValueError(f"unknown pooling kind {kind!r}")
+        stride = stride or kernel
+        self.batch = batch
+        self.channels = channels
+        self.in_length = in_length
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.kind = kind
+        self.out_length = _out_size(in_length, kernel, stride, padding)
+        self._out_shape = TensorShape.of(4, sample=batch, channel=channels, length=self.out_length)
+        self._in_shapes = (TensorShape.of(4, sample=batch, channel=channels, length=in_length),)
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        return {"sample": DimKind.SAMPLE, "length": DimKind.ATTRIBUTE, "channel": DimKind.ATTRIBUTE}
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        s_lo, s_hi = out_region.range("sample")
+        c_lo, c_hi = out_region.range("channel")
+        l_lo, l_hi = _window_range(
+            *out_region.range("length"), self.stride, self.padding, self.kernel, self.in_length
+        )
+        return Region((("sample", s_lo, s_hi), ("channel", c_lo, c_hi), ("length", l_lo, l_hi)))
+
+    def flops_for(self, out_region: Region) -> float:
+        return float(out_region.volume * self.kernel)
+
+    def static_attrs(self) -> tuple:
+        return (self.kernel, self.stride, self.padding, self.kind)

@@ -1,0 +1,239 @@
+"""Dense (matrix-multiplication) family: MatMul, Embedding, Softmax, Flatten.
+
+The matrix multiplication is the key operation motivating the Parameter
+dimension (Figure 4 of the paper): parallelizing ``Y = W X`` along the
+output-channel dimension shards the weight matrix and eliminates parameter
+synchronization for the shards, at the cost of replicating the input
+activations.  The analytic byte counts below make this trade-off visible
+to the roofline cost model, which is what lets the optimizer rediscover
+the paper's observation that channel-parallel matmuls in NMT's softmax
+layer beat batch-parallel ones (Section 8.2.1).
+"""
+
+from __future__ import annotations
+
+from repro.ir.dims import DimKind, Region, TensorShape
+from repro.ir.ops import Operation, ParamSpec
+
+__all__ = ["MatMul", "Embedding", "Softmax", "Flatten"]
+
+
+class MatMul(Operation):
+    """Dense layer ``Y = act(X W + b)``, optionally over a sequence.
+
+    Output dims: ``(sample[, length], channel=out_dim)``.  Parallelizable
+    in sample (S), length (A, when present) and channel (P) -- the channel
+    split shards ``W`` column-wise (Table 1: matrix multiplication has
+    sample as S and channel as P).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        batch: int,
+        in_dim: int,
+        out_dim: int,
+        seq_len: int | None = None,
+        activation: str | None = None,
+        use_bias: bool = True,
+    ):
+        super().__init__(name)
+        self.batch = batch
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.seq_len = seq_len
+        self.activation = activation
+        self.use_bias = use_bias
+        if seq_len is None:
+            self._out_shape = TensorShape.of(4, sample=batch, channel=out_dim)
+            self._in_shapes = (TensorShape.of(4, sample=batch, channel=in_dim),)
+        else:
+            self._out_shape = TensorShape.of(4, sample=batch, length=seq_len, channel=out_dim)
+            self._in_shapes = (TensorShape.of(4, sample=batch, length=seq_len, channel=in_dim),)
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        dims = {"sample": DimKind.SAMPLE, "channel": DimKind.PARAMETER}
+        if self.seq_len is not None:
+            dims["length"] = DimKind.ATTRIBUTE
+        return dims
+
+    @property
+    def params(self) -> tuple[ParamSpec, ...]:
+        weight = ParamSpec("weight", (self.in_dim, self.out_dim), partition_dim="channel", axis=1)
+        if not self.use_bias:
+            return (weight,)
+        return (weight, ParamSpec("bias", (self.out_dim,), partition_dim="channel", axis=0))
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        # The matmul reduces over the full input channel dimension.
+        ranges = [("sample", *out_region.range("sample"))]
+        if self.seq_len is not None:
+            ranges.append(("length", *out_region.range("length")))
+        ranges.append(("channel", 0, self.in_dim))
+        return Region(tuple(ranges))
+
+    def flops_for(self, out_region: Region) -> float:
+        rows = out_region.extent("sample")
+        if self.seq_len is not None:
+            rows *= out_region.extent("length")
+        return 2.0 * rows * self.in_dim * out_region.extent("channel")
+
+    def static_attrs(self) -> tuple:
+        return (self.in_dim, self.activation)
+
+
+class Embedding(Operation):
+    """Embedding-table lookup.
+
+    With ``seq_len`` set: (sample, length) ids -> (sample, length, channel).
+    With ``seq_len=None``: a single unrolled step, (sample,) ids ->
+    (sample, channel) -- this is the per-step "embed" op of the paper's
+    RNN graphs (Figure 5a).
+
+    Channel is a parameter dimension (it shards the table column-wise);
+    length, when present, is an attribute dimension.  The byte count
+    reflects a gather -- only looked-up rows move, not the whole shard.
+    """
+
+    def __init__(self, name: str, batch: int, vocab: int, embed_dim: int, seq_len: int | None = None):
+        super().__init__(name)
+        self.batch = batch
+        self.seq_len = seq_len
+        self.vocab = vocab
+        self.embed_dim = embed_dim
+        if seq_len is None:
+            self._out_shape = TensorShape.of(4, sample=batch, channel=embed_dim)
+            self._in_shapes = (TensorShape.of(4, sample=batch),)
+        else:
+            self._out_shape = TensorShape.of(4, sample=batch, length=seq_len, channel=embed_dim)
+            self._in_shapes = (TensorShape.of(4, sample=batch, length=seq_len),)
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        dims = {"sample": DimKind.SAMPLE, "channel": DimKind.PARAMETER}
+        if self.seq_len is not None:
+            dims["length"] = DimKind.ATTRIBUTE
+        return dims
+
+    @property
+    def params(self) -> tuple[ParamSpec, ...]:
+        return (ParamSpec("table", (self.vocab, self.embed_dim), partition_dim="channel", axis=1),)
+
+    def flops_for(self, out_region: Region) -> float:
+        # A gather performs no arithmetic; charge one op per output element
+        # so the cost model never returns exactly zero compute.
+        return float(out_region.volume)
+
+    def bytes_for(self, out_region: Region) -> float:
+        ids = out_region.extent("sample")
+        if self.seq_len is not None:
+            ids *= out_region.extent("length")
+        # Read the ids and the gathered rows, write the output slice.
+        return float(4 * ids + 2 * 4 * out_region.volume)
+
+
+class Softmax(Operation):
+    """Softmax over the channel dimension.
+
+    The channel dimension is a reduction, so it is *not* parallelizable
+    (kind NONE); sample is S and length (when present) is A.
+    """
+
+    def __init__(self, name: str, batch: int, num_classes: int, seq_len: int | None = None):
+        super().__init__(name)
+        self.batch = batch
+        self.num_classes = num_classes
+        self.seq_len = seq_len
+        if seq_len is None:
+            self._out_shape = TensorShape.of(4, sample=batch, channel=num_classes)
+        else:
+            self._out_shape = TensorShape.of(4, sample=batch, length=seq_len, channel=num_classes)
+        self._in_shapes = (self._out_shape,)
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        dims = {"sample": DimKind.SAMPLE}
+        if self.seq_len is not None:
+            dims["length"] = DimKind.ATTRIBUTE
+        return dims
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        # Reduction over channel: always read the full channel extent.
+        ranges = [("sample", *out_region.range("sample"))]
+        if self.seq_len is not None:
+            ranges.append(("length", *out_region.range("length")))
+        ranges.append(("channel", 0, self.num_classes))
+        return Region(tuple(ranges))
+
+    def flops_for(self, out_region: Region) -> float:
+        rows = out_region.extent("sample")
+        if self.seq_len is not None:
+            rows *= out_region.extent("length")
+        return 5.0 * rows * self.num_classes
+
+
+class Flatten(Operation):
+    """Collapse (channel, height, width) into a single channel dimension.
+
+    Only the sample dimension is parallelizable: any other split would
+    interleave elements across tasks in the flattened layout.
+    """
+
+    def __init__(self, name: str, batch: int, channels: int, in_hw: tuple[int, int]):
+        super().__init__(name)
+        self.batch = batch
+        self.channels = channels
+        self.in_hw = in_hw
+        self.flat_dim = channels * in_hw[0] * in_hw[1]
+        self._out_shape = TensorShape.of(4, sample=batch, channel=self.flat_dim)
+        self._in_shapes = (
+            TensorShape.of(4, sample=batch, channel=channels, height=in_hw[0], width=in_hw[1]),
+        )
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        return {"sample": DimKind.SAMPLE}
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        s_lo, s_hi = out_region.range("sample")
+        return Region(
+            (
+                ("sample", s_lo, s_hi),
+                ("channel", 0, self.channels),
+                ("height", 0, self.in_hw[0]),
+                ("width", 0, self.in_hw[1]),
+            )
+        )
+
+    def flops_for(self, out_region: Region) -> float:
+        # Pure data movement; charge one op per element for non-zero cost.
+        return float(out_region.volume)

@@ -1,0 +1,146 @@
+"""Recurrent operations: unrolled LSTM cells and Bahdanau-style attention.
+
+The paper's RNN benchmarks (RNNTC, RNNLM, NMT -- Section 8.1) unroll each
+recurrent layer for a fixed number of steps, so a "recurrent layer" is a
+chain of per-step LSTM-cell operations connected through their hidden
+state.  Each cell is dominated by the gate matmul, so its parallelizable
+dimensions mirror a matmul: sample (S) and channel (P).
+
+Channel-partitioning an LSTM cell splits the gate weight matrix
+column-wise (each task computes a slice of the new hidden state) but every
+task must still read the *full* previous hidden state and input vector --
+the corresponding input regions therefore span the full channel extent,
+which is what makes pure channel-parallel LSTMs communication-heavy and
+drives the hybrid per-layer strategies of Figure 14.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dims import DimKind, Region, TensorShape
+from repro.ir.ops import Operation, ParamSpec
+
+__all__ = ["LSTMCell", "Attention"]
+
+
+class LSTMCell(Operation):
+    """One unrolled step of an LSTM layer.
+
+    Inputs: ``x_t`` (sample, channel=in_dim) and, unless this is the first
+    step of the layer, the previous hidden state ``h_{t-1}`` (sample,
+    channel=hidden).  Output: ``h_t`` (sample, channel=hidden).
+
+    The cell state ``c_t`` flows between consecutive cells of the same
+    layer along the same producer/consumer edge as ``h_t``; we fold its
+    volume into the byte counts rather than modelling a second output
+    tensor (see DESIGN.md, "key design decisions").
+    """
+
+    def __init__(self, name: str, batch: int, in_dim: int, hidden: int, has_state_input: bool = True):
+        super().__init__(name)
+        self.batch = batch
+        self.in_dim = in_dim
+        self.hidden = hidden
+        self.has_state_input = has_state_input
+        self._out_shape = TensorShape.of(4, sample=batch, channel=hidden)
+        x_shape = TensorShape.of(4, sample=batch, channel=in_dim)
+        h_shape = TensorShape.of(4, sample=batch, channel=hidden)
+        self._in_shapes = (x_shape, h_shape) if has_state_input else (x_shape,)
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        return {"sample": DimKind.SAMPLE, "channel": DimKind.PARAMETER}
+
+    @property
+    def params(self) -> tuple[ParamSpec, ...]:
+        return (
+            ParamSpec(
+                "weight", (self.in_dim + self.hidden, 4 * self.hidden), partition_dim="channel", axis=1
+            ),
+            ParamSpec("bias", (4 * self.hidden,), partition_dim="channel", axis=0),
+        )
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        # Gate matmuls reduce over the full input/hidden channel extent.
+        s_lo, s_hi = out_region.range("sample")
+        full = self.in_dim if input_index == 0 else self.hidden
+        return Region((("sample", s_lo, s_hi), ("channel", 0, full)))
+
+    def flops_for(self, out_region: Region) -> float:
+        s = out_region.extent("sample")
+        c = out_region.extent("channel")
+        gate_flops = 2.0 * s * (self.in_dim + self.hidden) * 4 * c
+        pointwise = 10.0 * s * c  # gate nonlinearities + cell update
+        return gate_flops + pointwise
+
+    def bytes_for(self, out_region: Region) -> float:
+        base = super().bytes_for(out_region)
+        # Cell state: read c_{t-1} and write c_t for this channel slice.
+        cell = 2 * 4 * out_region.volume
+        return base + cell
+
+    def static_attrs(self) -> tuple:
+        return (self.in_dim, self.hidden, self.has_state_input)
+
+
+class Attention(Operation):
+    """Single-step attention over a set of encoder states (NMT, Figure 14).
+
+    Inputs: the decoder hidden state (sample, channel=hidden) followed by
+    ``src_len`` encoder hidden states, each (sample, channel=hidden) --
+    the unrolled encoder produces one tensor per step, so the attention
+    op consumes them as separate inputs.  Output: the attentional hidden
+    state (sample, channel=hidden).
+
+    Channel is a parameter dimension (it shards the output projection),
+    but score computation over the encoder states is replicated across
+    channel-split tasks -- the FLOP count below charges for that
+    duplication, which correctly discourages over-splitting attention.
+    """
+
+    def __init__(self, name: str, batch: int, hidden: int, src_len: int):
+        super().__init__(name)
+        self.batch = batch
+        self.hidden = hidden
+        self.src_len = src_len
+        self._out_shape = TensorShape.of(4, sample=batch, channel=hidden)
+        state = TensorShape.of(4, sample=batch, channel=hidden)
+        self._in_shapes = tuple(state for _ in range(1 + src_len))
+
+    @property
+    def out_shape(self) -> TensorShape:
+        return self._out_shape
+
+    @property
+    def input_shapes(self) -> tuple[TensorShape, ...]:
+        return self._in_shapes
+
+    def parallel_dims(self) -> dict[str, DimKind]:
+        return {"sample": DimKind.SAMPLE, "channel": DimKind.PARAMETER}
+
+    @property
+    def params(self) -> tuple[ParamSpec, ...]:
+        return (ParamSpec("proj", (2 * self.hidden, self.hidden), partition_dim="channel", axis=1),)
+
+    def input_region(self, out_region: Region, input_index: int) -> Region:
+        # Scores reduce over the full hidden extent of every state.
+        s_lo, s_hi = out_region.range("sample")
+        return Region((("sample", s_lo, s_hi), ("channel", 0, self.hidden)))
+
+    def flops_for(self, out_region: Region) -> float:
+        s = out_region.extent("sample")
+        c = out_region.extent("channel")
+        # Scores + softmax + context over the full hidden size (replicated
+        # across channel-split tasks), then the sharded output projection.
+        score_context = 4.0 * s * self.src_len * self.hidden
+        projection = 2.0 * s * (2 * self.hidden) * c
+        return score_context + projection
+
+    def static_attrs(self) -> tuple:
+        return (self.hidden, self.src_len)

@@ -1,0 +1,18 @@
+"""Device and cluster topology substrate (paper Section 3.1, Figure 6)."""
+
+from repro.machine.clusters import k80_cluster, p100_cluster, single_node, uniform_cluster
+from repro.machine.device import GPU_SPECS, Device, DeviceSpec, spec_for
+from repro.machine.topology import Connection, DeviceTopology
+
+__all__ = [
+    "k80_cluster",
+    "p100_cluster",
+    "single_node",
+    "uniform_cluster",
+    "GPU_SPECS",
+    "Device",
+    "DeviceSpec",
+    "spec_for",
+    "Connection",
+    "DeviceTopology",
+]

@@ -1,0 +1,96 @@
+"""Compute devices and their performance specifications.
+
+A :class:`DeviceSpec` carries the handful of numbers the analytic cost
+model needs (peak FLOPS, memory bandwidth, kernel-launch overhead, and a
+saturation constant modelling how small kernels under-utilize the device).
+The built-in spec database covers the GPUs of the paper's two clusters
+(Tesla P100 and Tesla K80) plus a generic host CPU and a V100 for
+portability experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "Device", "GPU_SPECS", "spec_for"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Performance envelope of a device class.
+
+    Parameters
+    ----------
+    key:
+        Short identifier (``"p100"``, ``"k80"``, ``"cpu"``).
+    peak_gflops:
+        Peak single-precision throughput in GFLOP/s.
+    mem_bw_gbps:
+        Device-memory bandwidth in GB/s.
+    launch_overhead_us:
+        Fixed per-kernel launch cost in microseconds.
+    sat_flops:
+        Half-saturation constant: a task with this many FLOPs achieves
+        half the peak compute rate.  Models the non-linear,
+        hardware-dependent scaling of small kernels that the paper's
+        simulator captures by profiling real executions per input size.
+    """
+
+    key: str
+    peak_gflops: float
+    mem_bw_gbps: float
+    launch_overhead_us: float
+    sat_flops: float
+
+    @property
+    def flops_per_us(self) -> float:
+        """Peak throughput expressed in FLOPs per microsecond."""
+        return self.peak_gflops * 1e3
+
+    @property
+    def bytes_per_us(self) -> float:
+        """Memory bandwidth expressed in bytes per microsecond."""
+        return self.mem_bw_gbps * 1e3
+
+
+GPU_SPECS: dict[str, DeviceSpec] = {
+    # NVIDIA Tesla P100 (SXM2): 9.3 TFLOPS fp32, 732 GB/s HBM2.
+    "p100": DeviceSpec("p100", peak_gflops=9300.0, mem_bw_gbps=732.0, launch_overhead_us=5.0, sat_flops=5e6),
+    # NVIDIA Tesla K80, per GK210 die: ~2.8 TFLOPS fp32, 240 GB/s GDDR5.
+    "k80": DeviceSpec("k80", peak_gflops=2800.0, mem_bw_gbps=240.0, launch_overhead_us=8.0, sat_flops=3e6),
+    # NVIDIA Tesla V100 (for portability studies beyond the paper).
+    "v100": DeviceSpec("v100", peak_gflops=14000.0, mem_bw_gbps=900.0, launch_overhead_us=4.0, sat_flops=6e6),
+    # Generic dual-socket host CPU.
+    "cpu": DeviceSpec("cpu", peak_gflops=500.0, mem_bw_gbps=60.0, launch_overhead_us=1.0, sat_flops=1e5),
+}
+
+
+def spec_for(key: str) -> DeviceSpec:
+    """Look up a built-in :class:`DeviceSpec` by key."""
+    try:
+        return GPU_SPECS[key]
+    except KeyError:
+        raise KeyError(f"unknown device spec {key!r}; known: {sorted(GPU_SPECS)}") from None
+
+
+@dataclass(frozen=True)
+class Device:
+    """One compute device in a topology.
+
+    ``did`` is the dense integer id used throughout the simulator;
+    ``node`` and ``index_on_node`` locate the device physically, which the
+    topology's link policy uses to derive interconnect bandwidths.
+    """
+
+    did: int
+    kind: str  # "gpu" or "cpu"
+    node: int
+    index_on_node: int
+    spec: DeviceSpec
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.key}:{self.node}.{self.index_on_node}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device({self.did}, {self.name})"

@@ -1,0 +1,158 @@
+"""Device topology: devices plus the interconnects between them.
+
+Mirrors the paper's device-topology input (Section 3.1): nodes are
+devices, edges are hardware connections labelled with bandwidth and
+latency.  Following Section 5.1, every connection is *itself* modelled as
+a (communication) device so that data transfers occupy the link, not the
+endpoints -- computation and communication overlap naturally in the
+simulator.
+
+Connections are directed and created lazily: full-duplex links (NVLink,
+PCIe, InfiniBand) carry independent traffic in each direction, while two
+transfers in the same direction on the same link serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.machine.device import Device
+
+__all__ = ["Connection", "DeviceTopology", "LinkPolicy"]
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed hardware connection between two devices.
+
+    ``cid`` lives in the same id space as device ids (comm devices are
+    allocated above all compute-device ids) so the task graph can treat
+    compute and communication uniformly.
+    """
+
+    cid: int
+    src: int
+    dst: int
+    bandwidth_gbps: float
+    latency_us: float
+    label: str
+
+    def transfer_us(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across this link (assumption A2)."""
+        return self.latency_us + nbytes / (self.bandwidth_gbps * 1e3)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Connection({self.src}->{self.dst}, {self.label}, {self.bandwidth_gbps} GB/s)"
+
+
+# A link policy maps a device pair to (bandwidth GB/s, latency us, label)
+# or (bandwidth, latency, label, share_key).  A non-None share_key makes
+# every device pair with that key use one *shared* connection object --
+# e.g. all GPU pairs between two nodes share the single InfiniBand path of
+# Figure 6, so their transfers serialize on one communication device.
+LinkPolicy = Callable[[Device, Device], tuple]
+
+
+class DeviceTopology:
+    """All devices of a cluster and the links between them.
+
+    Parameters
+    ----------
+    devices:
+        The compute devices, with dense ids ``0..n-1``.
+    link_policy:
+        Callable deriving the (bandwidth, latency, label) of the link
+        between any two distinct devices from their physical placement.
+    name:
+        Human-readable cluster name (shows up in benchmark reports).
+    """
+
+    def __init__(self, devices: Iterable[Device], link_policy: LinkPolicy, name: str = "cluster"):
+        self.name = name
+        self.devices: tuple[Device, ...] = tuple(devices)
+        for i, d in enumerate(self.devices):
+            if d.did != i:
+                raise ValueError(f"device ids must be dense and ordered; got {d.did} at index {i}")
+        self._link_policy = link_policy
+        self._connections: dict[tuple[int, int], Connection] = {}
+        self._shared: dict[object, Connection] = {}
+        self._next_cid = len(self.devices)
+
+    # -- devices ------------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def device(self, did: int) -> Device:
+        return self.devices[did]
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 + max(d.node for d in self.devices)
+
+    @property
+    def gpu_ids(self) -> tuple[int, ...]:
+        return tuple(d.did for d in self.devices if d.kind == "gpu")
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.devices[a].node == self.devices[b].node
+
+    # -- connections ----------------------------------------------------------
+    def connection(self, src: int, dst: int) -> Connection:
+        """The (directed) connection from ``src`` to ``dst``, created lazily."""
+        if src == dst:
+            raise ValueError("no connection from a device to itself")
+        key = (src, dst)
+        conn = self._connections.get(key)
+        if conn is None:
+            spec = self._link_policy(self.devices[src], self.devices[dst])
+            bw, lat, label = spec[0], spec[1], spec[2]
+            share_key = spec[3] if len(spec) > 3 else None
+            if share_key is not None:
+                conn = self._shared.get(share_key)
+                if conn is None:
+                    conn = Connection(self._next_cid, src, dst, bw, lat, label)
+                    self._next_cid += 1
+                    self._shared[share_key] = conn
+            else:
+                conn = Connection(self._next_cid, src, dst, bw, lat, label)
+                self._next_cid += 1
+            self._connections[key] = conn
+        return conn
+
+    def transfer_us(self, src: int, dst: int, nbytes: float) -> float:
+        """Transfer time between two devices (0 for same-device)."""
+        if src == dst:
+            return 0.0
+        return self.connection(src, dst).transfer_us(nbytes)
+
+    def connections(self) -> tuple[Connection, ...]:
+        """All connections materialized so far."""
+        return tuple(self._connections.values())
+
+    # -- sub-topologies ----------------------------------------------------------
+    def subset(self, device_ids: Iterable[int], name: str | None = None) -> "DeviceTopology":
+        """A topology restricted to ``device_ids`` (ids re-densified).
+
+        Used by the benchmark harness to scale experiments from 1 GPU up
+        to the full cluster while keeping the same physical link model.
+        """
+        ids = list(device_ids)
+        old = [self.devices[i] for i in ids]
+        remap = {d.did: new for new, d in enumerate(old)}
+        new_devices = [
+            Device(remap[d.did], d.kind, d.node, d.index_on_node, d.spec) for d in old
+        ]
+        # Preserve physical placement: the link policy only reads node /
+        # index_on_node / spec, all of which are copied unchanged.
+        return DeviceTopology(new_devices, self._link_policy, name or f"{self.name}[{len(ids)}]")
+
+    def describe(self) -> str:
+        lines = [f"DeviceTopology {self.name!r}: {self.num_devices} devices, {self.num_nodes} node(s)"]
+        for d in self.devices:
+            lines.append(f"  [{d.did:>3}] {d.kind} {d.name}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeviceTopology({self.name!r}, devices={self.num_devices})"

@@ -1,0 +1,27 @@
+"""The paper's DNN benchmarks (Table 3) plus small auxiliary models."""
+
+from repro.models.alexnet import alexnet
+from repro.models.inception import inception_v3
+from repro.models.lenet import lenet
+from repro.models.mlp import mlp
+from repro.models.nmt import nmt
+from repro.models.registry import MODEL_NAMES, get_model, paper_batch_size
+from repro.models.resnet import resnet, resnet101
+from repro.models.rnn import rnnlm, rnnlm_small, rnntc, stacked_lstm
+
+__all__ = [
+    "alexnet",
+    "inception_v3",
+    "lenet",
+    "mlp",
+    "nmt",
+    "MODEL_NAMES",
+    "get_model",
+    "paper_batch_size",
+    "resnet",
+    "resnet101",
+    "rnnlm",
+    "rnnlm_small",
+    "rnntc",
+    "stacked_lstm",
+]

@@ -1,0 +1,32 @@
+"""AlexNet: the 12-layer CNN benchmark (Table 3, batch size 256).
+
+Per Section 8.1 the paper benchmarks AlexNet with synthetic data because
+data loading dominates its tiny per-iteration compute; the graph here is
+the standard single-tower AlexNet of [Krizhevsky et al. 2012].
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import OperatorGraph
+
+__all__ = ["alexnet"]
+
+
+def alexnet(batch: int = 256, num_classes: int = 1000) -> OperatorGraph:
+    b = GraphBuilder("alexnet", batch=batch)
+    x = b.image_input(channels=3, hw=(227, 227), name="images")
+    x = b.conv2d(x, 96, kernel=(11, 11), stride=(4, 4), name="conv1")
+    x = b.pool2d(x, kernel=(3, 3), stride=(2, 2), name="pool1")
+    x = b.conv2d(x, 256, kernel=(5, 5), padding=(2, 2), name="conv2")
+    x = b.pool2d(x, kernel=(3, 3), stride=(2, 2), name="pool2")
+    x = b.conv2d(x, 384, kernel=(3, 3), padding=(1, 1), name="conv3")
+    x = b.conv2d(x, 384, kernel=(3, 3), padding=(1, 1), name="conv4")
+    x = b.conv2d(x, 256, kernel=(3, 3), padding=(1, 1), name="conv5")
+    x = b.pool2d(x, kernel=(3, 3), stride=(2, 2), name="pool5")
+    x = b.flatten(x)
+    x = b.dense(x, 4096, activation="relu", name="fc6")
+    x = b.dense(x, 4096, activation="relu", name="fc7")
+    x = b.dense(x, num_classes, name="fc8")
+    b.softmax(x, name="softmax")
+    return b.graph

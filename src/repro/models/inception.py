@@ -1,0 +1,106 @@
+"""Inception-v3: the 102-layer CNN benchmark (Table 3, Figure 13).
+
+Faithful channel configuration of [Szegedy et al. 2016] with batch norm +
+ReLU fused into the convolutions.  The parallel Inception branches make
+this the paper's showcase for combining intra- and inter-operation
+parallelism (Section 8.5): branches can run concurrently on different
+devices while critical-path ops split across devices.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import OperatorGraph
+
+__all__ = ["inception_v3"]
+
+
+def _inception_a(b: GraphBuilder, x: int, pool_features: int, name: str) -> int:
+    b1 = b.conv2d(x, 64, kernel=(1, 1), name=f"{name}.1x1")
+    b5 = b.conv2d(x, 48, kernel=(1, 1), name=f"{name}.5x5_1")
+    b5 = b.conv2d(b5, 64, kernel=(5, 5), padding=(2, 2), name=f"{name}.5x5_2")
+    b3 = b.conv2d(x, 64, kernel=(1, 1), name=f"{name}.3x3dbl_1")
+    b3 = b.conv2d(b3, 96, kernel=(3, 3), padding=(1, 1), name=f"{name}.3x3dbl_2")
+    b3 = b.conv2d(b3, 96, kernel=(3, 3), padding=(1, 1), name=f"{name}.3x3dbl_3")
+    bp = b.pool2d(x, kernel=(3, 3), stride=(1, 1), padding=(1, 1), kind="avg", name=f"{name}.pool")
+    bp = b.conv2d(bp, pool_features, kernel=(1, 1), name=f"{name}.pool_proj")
+    return b.concat([b1, b5, b3, bp], axis="channel", name=f"{name}.concat")
+
+
+def _inception_b(b: GraphBuilder, x: int, name: str) -> int:
+    b3 = b.conv2d(x, 384, kernel=(3, 3), stride=(2, 2), name=f"{name}.3x3")
+    bd = b.conv2d(x, 64, kernel=(1, 1), name=f"{name}.dbl_1")
+    bd = b.conv2d(bd, 96, kernel=(3, 3), padding=(1, 1), name=f"{name}.dbl_2")
+    bd = b.conv2d(bd, 96, kernel=(3, 3), stride=(2, 2), name=f"{name}.dbl_3")
+    bp = b.pool2d(x, kernel=(3, 3), stride=(2, 2), name=f"{name}.pool")
+    return b.concat([b3, bd, bp], axis="channel", name=f"{name}.concat")
+
+
+def _inception_c(b: GraphBuilder, x: int, c7: int, name: str) -> int:
+    b1 = b.conv2d(x, 192, kernel=(1, 1), name=f"{name}.1x1")
+    b7 = b.conv2d(x, c7, kernel=(1, 1), name=f"{name}.7x7_1")
+    b7 = b.conv2d(b7, c7, kernel=(1, 7), padding=(0, 3), name=f"{name}.7x7_2")
+    b7 = b.conv2d(b7, 192, kernel=(7, 1), padding=(3, 0), name=f"{name}.7x7_3")
+    bd = b.conv2d(x, c7, kernel=(1, 1), name=f"{name}.dbl_1")
+    bd = b.conv2d(bd, c7, kernel=(7, 1), padding=(3, 0), name=f"{name}.dbl_2")
+    bd = b.conv2d(bd, c7, kernel=(1, 7), padding=(0, 3), name=f"{name}.dbl_3")
+    bd = b.conv2d(bd, c7, kernel=(7, 1), padding=(3, 0), name=f"{name}.dbl_4")
+    bd = b.conv2d(bd, 192, kernel=(1, 7), padding=(0, 3), name=f"{name}.dbl_5")
+    bp = b.pool2d(x, kernel=(3, 3), stride=(1, 1), padding=(1, 1), kind="avg", name=f"{name}.pool")
+    bp = b.conv2d(bp, 192, kernel=(1, 1), name=f"{name}.pool_proj")
+    return b.concat([b1, b7, bd, bp], axis="channel", name=f"{name}.concat")
+
+
+def _inception_d(b: GraphBuilder, x: int, name: str) -> int:
+    b3 = b.conv2d(x, 192, kernel=(1, 1), name=f"{name}.3x3_1")
+    b3 = b.conv2d(b3, 320, kernel=(3, 3), stride=(2, 2), name=f"{name}.3x3_2")
+    b7 = b.conv2d(x, 192, kernel=(1, 1), name=f"{name}.7x7_1")
+    b7 = b.conv2d(b7, 192, kernel=(1, 7), padding=(0, 3), name=f"{name}.7x7_2")
+    b7 = b.conv2d(b7, 192, kernel=(7, 1), padding=(3, 0), name=f"{name}.7x7_3")
+    b7 = b.conv2d(b7, 192, kernel=(3, 3), stride=(2, 2), name=f"{name}.7x7_4")
+    bp = b.pool2d(x, kernel=(3, 3), stride=(2, 2), name=f"{name}.pool")
+    return b.concat([b3, b7, bp], axis="channel", name=f"{name}.concat")
+
+
+def _inception_e(b: GraphBuilder, x: int, name: str) -> int:
+    b1 = b.conv2d(x, 320, kernel=(1, 1), name=f"{name}.1x1")
+    b3 = b.conv2d(x, 384, kernel=(1, 1), name=f"{name}.3x3_1")
+    b3a = b.conv2d(b3, 384, kernel=(1, 3), padding=(0, 1), name=f"{name}.3x3_2a")
+    b3b = b.conv2d(b3, 384, kernel=(3, 1), padding=(1, 0), name=f"{name}.3x3_2b")
+    bd = b.conv2d(x, 448, kernel=(1, 1), name=f"{name}.dbl_1")
+    bd = b.conv2d(bd, 384, kernel=(3, 3), padding=(1, 1), name=f"{name}.dbl_2")
+    bda = b.conv2d(bd, 384, kernel=(1, 3), padding=(0, 1), name=f"{name}.dbl_3a")
+    bdb = b.conv2d(bd, 384, kernel=(3, 1), padding=(1, 0), name=f"{name}.dbl_3b")
+    bp = b.pool2d(x, kernel=(3, 3), stride=(1, 1), padding=(1, 1), kind="avg", name=f"{name}.pool")
+    bp = b.conv2d(bp, 192, kernel=(1, 1), name=f"{name}.pool_proj")
+    return b.concat([b1, b3a, b3b, bda, bdb, bp], axis="channel", name=f"{name}.concat")
+
+
+def inception_v3(batch: int = 64, num_classes: int = 1000) -> OperatorGraph:
+    b = GraphBuilder("inception_v3", batch=batch)
+    x = b.image_input(channels=3, hw=(299, 299), name="images")
+    x = b.conv2d(x, 32, kernel=(3, 3), stride=(2, 2), name="stem.conv1")
+    x = b.conv2d(x, 32, kernel=(3, 3), name="stem.conv2")
+    x = b.conv2d(x, 64, kernel=(3, 3), padding=(1, 1), name="stem.conv3")
+    x = b.pool2d(x, kernel=(3, 3), stride=(2, 2), name="stem.pool1")
+    x = b.conv2d(x, 80, kernel=(1, 1), name="stem.conv4")
+    x = b.conv2d(x, 192, kernel=(3, 3), name="stem.conv5")
+    x = b.pool2d(x, kernel=(3, 3), stride=(2, 2), name="stem.pool2")
+
+    x = _inception_a(b, x, 32, "mixed0")
+    x = _inception_a(b, x, 64, "mixed1")
+    x = _inception_a(b, x, 64, "mixed2")
+    x = _inception_b(b, x, "mixed3")
+    x = _inception_c(b, x, 128, "mixed4")
+    x = _inception_c(b, x, 160, "mixed5")
+    x = _inception_c(b, x, 160, "mixed6")
+    x = _inception_c(b, x, 192, "mixed7")
+    x = _inception_d(b, x, "mixed8")
+    x = _inception_e(b, x, "mixed9")
+    x = _inception_e(b, x, "mixed10")
+
+    x = b.global_avg_pool(x, name="gap")
+    x = b.flatten(x)
+    x = b.dense(x, num_classes, name="fc")
+    b.softmax(x, name="softmax")
+    return b.graph

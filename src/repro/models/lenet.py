@@ -1,0 +1,24 @@
+"""LeNet-5: the small CNN used for the optimality study (Section 8.4)."""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import OperatorGraph
+
+__all__ = ["lenet"]
+
+
+def lenet(batch: int = 64, num_classes: int = 10) -> OperatorGraph:
+    """The 6-layer LeNet CNN on 28x28 grayscale images."""
+    b = GraphBuilder("lenet", batch=batch)
+    x = b.image_input(channels=1, hw=(28, 28), name="images")
+    x = b.conv2d(x, 6, kernel=(5, 5), name="conv1")
+    x = b.pool2d(x, name="pool1")
+    x = b.conv2d(x, 16, kernel=(5, 5), name="conv2")
+    x = b.pool2d(x, name="pool2")
+    x = b.flatten(x)
+    x = b.dense(x, 120, activation="relu", name="fc1")
+    x = b.dense(x, 84, activation="relu", name="fc2")
+    x = b.dense(x, num_classes, name="fc3")
+    b.softmax(x, name="softmax")
+    return b.graph

@@ -1,0 +1,26 @@
+"""A configurable multi-layer perceptron (examples, tests, training demos)."""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import OperatorGraph
+
+__all__ = ["mlp"]
+
+
+def mlp(
+    batch: int = 64,
+    in_dim: int = 256,
+    hidden: tuple[int, ...] = (512, 512),
+    num_classes: int = 10,
+) -> OperatorGraph:
+    """Input -> dense stack -> softmax over ``num_classes``."""
+    from repro.ir.dims import TensorShape
+
+    b = GraphBuilder("mlp", batch=batch)
+    x = b.input(TensorShape.of(4, sample=batch, channel=in_dim), name="features")
+    for i, h in enumerate(hidden):
+        x = b.dense(x, h, activation="relu", name=f"fc{i + 1}")
+    x = b.dense(x, num_classes, name="logits")
+    b.softmax(x, name="softmax")
+    return b.graph

@@ -1,0 +1,53 @@
+"""NMT: the sequence-to-sequence attention benchmark (Table 3, Figure 14).
+
+Encoder and decoder of two LSTM layers each (hidden 1024), per-step
+embeddings, an attention layer on top of the last decoder LSTM, and a
+per-step softmax-linear over the target vocabulary -- the structure of
+Figure 14.  The paper unrolls 40 steps on both sides; ``src_len`` /
+``tgt_len`` parameterize that for CI-mode runs.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import OperatorGraph
+
+__all__ = ["nmt"]
+
+
+def nmt(
+    batch: int = 64,
+    src_len: int = 40,
+    tgt_len: int = 40,
+    hidden: int = 1024,
+    vocab: int = 32768,
+) -> OperatorGraph:
+    b = GraphBuilder("nmt", batch=batch)
+
+    # Encoder: embed -> LSTM x2, unrolled over the source sentence.
+    enc_h1: int | None = None
+    enc_h2: int | None = None
+    enc_states: list[int] = []
+    for t in range(src_len):
+        tok = b.token_input(name=f"src_tokens.t{t}")
+        x = b.embedding(
+            tok, vocab=vocab, embed_dim=hidden, name=f"enc_embed.t{t}", param_group="enc_embed"
+        )
+        enc_h1 = b.lstm(x, hidden, h_prev=enc_h1, name=f"enc_lstm1.t{t}", param_group="enc_lstm1")
+        enc_h2 = b.lstm(enc_h1, hidden, h_prev=enc_h2, name=f"enc_lstm2.t{t}", param_group="enc_lstm2")
+        enc_states.append(enc_h2)
+
+    # Decoder: embed -> LSTM x2 -> attention -> softmax, per target step.
+    dec_h1: int | None = None
+    dec_h2: int | None = None
+    for t in range(tgt_len):
+        tok = b.token_input(name=f"tgt_tokens.t{t}")
+        x = b.embedding(
+            tok, vocab=vocab, embed_dim=hidden, name=f"dec_embed.t{t}", param_group="dec_embed"
+        )
+        dec_h1 = b.lstm(x, hidden, h_prev=dec_h1, name=f"dec_lstm1.t{t}", param_group="dec_lstm1")
+        dec_h2 = b.lstm(dec_h1, hidden, h_prev=dec_h2, name=f"dec_lstm2.t{t}", param_group="dec_lstm2")
+        attn = b.attention(dec_h2, enc_states, name=f"attention.t{t}", param_group="attention")
+        logits = b.dense(attn, vocab, name=f"nmt_logits.t{t}", param_group="nmt_logits")
+        b.softmax(logits, name=f"softmax.t{t}")
+    return b.graph

@@ -1,0 +1,68 @@
+"""Model registry: the paper's six benchmarks at paper or CI scale.
+
+Benchmarks default to the paper's hyper-parameters (Section 8.1: batch 64
+except AlexNet's 256, 40 unrolled steps).  ``scale="ci"`` shrinks the
+sequence models (10 steps, smaller vocab) so the full benchmark suite
+completes offline in minutes; spatial CNNs keep their real shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.graph import OperatorGraph
+from repro.models.alexnet import alexnet
+from repro.models.inception import inception_v3
+from repro.models.lenet import lenet
+from repro.models.mlp import mlp
+from repro.models.nmt import nmt
+from repro.models.resnet import resnet101
+from repro.models.rnn import rnnlm, rnnlm_small, rnntc
+
+__all__ = ["MODEL_NAMES", "get_model", "paper_batch_size"]
+
+MODEL_NAMES = ("alexnet", "inception_v3", "resnet101", "rnntc", "rnnlm", "nmt")
+
+_PAPER_BATCH = {name: 64 for name in MODEL_NAMES} | {"alexnet": 256}
+
+
+def paper_batch_size(name: str) -> int:
+    """Per-benchmark batch size from Section 8.1."""
+    return _PAPER_BATCH.get(name, 64)
+
+
+def _builders(scale: str) -> dict[str, Callable[[], OperatorGraph]]:
+    if scale == "paper":
+        return {
+            "alexnet": lambda: alexnet(batch=256),
+            "inception_v3": lambda: inception_v3(batch=64),
+            "resnet101": lambda: resnet101(batch=64),
+            "rnntc": lambda: rnntc(batch=64, steps=40),
+            "rnnlm": lambda: rnnlm(batch=64, steps=40),
+            "nmt": lambda: nmt(batch=64, src_len=40, tgt_len=40),
+            "lenet": lambda: lenet(batch=64),
+            "rnnlm_small": lambda: rnnlm_small(batch=64),
+            "mlp": lambda: mlp(batch=64),
+        }
+    if scale == "ci":
+        return {
+            "alexnet": lambda: alexnet(batch=256),
+            "inception_v3": lambda: inception_v3(batch=64),
+            "resnet101": lambda: resnet101(batch=64),
+            "rnntc": lambda: rnntc(batch=64, steps=10, vocab=4000),
+            "rnnlm": lambda: rnnlm(batch=64, steps=10, hidden=1024, vocab=4000),
+            "nmt": lambda: nmt(batch=64, src_len=10, tgt_len=10, vocab=8192),
+            "lenet": lambda: lenet(batch=64),
+            "rnnlm_small": lambda: rnnlm_small(batch=64),
+            "mlp": lambda: mlp(batch=64),
+        }
+    raise ValueError(f"unknown scale {scale!r}; use 'paper' or 'ci'")
+
+
+def get_model(name: str, scale: str = "paper") -> OperatorGraph:
+    """Build a benchmark graph by name at the requested scale."""
+    builders = _builders(scale)
+    try:
+        return builders[name]()
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(builders)}") from None

@@ -1,0 +1,55 @@
+"""ResNet-101: the 101-layer residual CNN benchmark (Table 3).
+
+Standard bottleneck architecture [He et al. 2016] with stage depths
+(3, 4, 23, 3).  Batch norm + ReLU are fused into the convolutions
+(cuDNN-style), so the op count tracks the paper's "101-layer" framing.
+The residual additions make the operator graph non-linear, but the paper
+reports FlexFlow and OptCNN still find near-data-parallel strategies for
+it (Section 8.2.1) -- a useful sanity anchor for the cost model.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import OperatorGraph
+
+__all__ = ["resnet101", "resnet"]
+
+
+def _bottleneck(b: GraphBuilder, x: int, mid: int, out: int, stride: int, name: str) -> int:
+    """conv1x1 -> conv3x3(stride) -> conv1x1 with a (projected) shortcut."""
+    in_channels = b.shape_of(x).size("channel")
+    main = b.conv2d(x, mid, kernel=(1, 1), name=f"{name}.conv1")
+    main = b.conv2d(main, mid, kernel=(3, 3), stride=(stride, stride), padding=(1, 1), name=f"{name}.conv2")
+    main = b.conv2d(main, out, kernel=(1, 1), activation=None, name=f"{name}.conv3")
+    if in_channels != out or stride != 1:
+        shortcut = b.conv2d(
+            x, out, kernel=(1, 1), stride=(stride, stride), activation=None, name=f"{name}.proj"
+        )
+    else:
+        shortcut = x
+    return b.add(main, shortcut, name=f"{name}.add")
+
+
+def resnet(batch: int = 64, layers: tuple[int, int, int, int] = (3, 4, 23, 3), num_classes: int = 1000) -> OperatorGraph:
+    """Parametric bottleneck ResNet (``layers`` = blocks per stage)."""
+    depth = 2 + sum(3 * n for n in layers)
+    b = GraphBuilder(f"resnet{depth}", batch=batch)
+    x = b.image_input(channels=3, hw=(224, 224), name="images")
+    x = b.conv2d(x, 64, kernel=(7, 7), stride=(2, 2), padding=(3, 3), name="conv1")
+    x = b.pool2d(x, kernel=(3, 3), stride=(2, 2), padding=(1, 1), name="pool1")
+    widths = (64, 128, 256, 512)
+    for stage, (blocks, mid) in enumerate(zip(layers, widths), start=2):
+        for i in range(blocks):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            x = _bottleneck(b, x, mid, mid * 4, stride, name=f"res{stage}.{i}")
+    x = b.global_avg_pool(x, name="gap")
+    x = b.flatten(x)
+    x = b.dense(x, num_classes, name="fc")
+    b.softmax(x, name="softmax")
+    return b.graph
+
+
+def resnet101(batch: int = 64, num_classes: int = 1000) -> OperatorGraph:
+    """The paper's ResNet-101 benchmark."""
+    return resnet(batch=batch, layers=(3, 4, 23, 3), num_classes=num_classes)

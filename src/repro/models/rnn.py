@@ -1,0 +1,87 @@
+"""Unrolled recurrent benchmarks: RNNTC and RNNLM (Table 3, Section 8.1).
+
+* **RNNTC** -- text classification [Kim 2014's task]: per-step embedding
+  into four stacked LSTM layers (hidden 1024), with a softmax classifier
+  on the final step's topmost hidden state.
+* **RNNLM** -- language modelling [Zaremba et al. 2014]: per-step
+  embedding into two stacked LSTM layers (hidden 2048) with a per-step
+  softmax-linear over the vocabulary (Penn Treebank, vocab 10k).
+
+Both unroll each recurrent layer for a fixed number of steps (40 in the
+paper); ``steps`` is a parameter so CI-mode benchmarks can run reduced
+graphs.  ``rnnlm_small`` (2 steps) is the Section 8.4 optimality subject.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import OperatorGraph
+
+__all__ = ["rnntc", "rnnlm", "rnnlm_small", "stacked_lstm"]
+
+
+def stacked_lstm(
+    b: GraphBuilder,
+    steps: int,
+    layers: int,
+    hidden: int,
+    vocab: int,
+    embed_dim: int,
+    prefix: str = "",
+) -> list[list[int]]:
+    """Build ``steps`` unrolled columns of embed + ``layers`` LSTM cells.
+
+    Returns per-layer lists of per-step hidden-state op ids;
+    ``result[-1]`` is the topmost layer's outputs.
+    """
+    h_prev: list[int | None] = [None] * layers
+    outputs: list[list[int]] = [[] for _ in range(layers)]
+    for t in range(steps):
+        tok = b.token_input(name=f"{prefix}tokens.t{t}")
+        x = b.embedding(
+            tok, vocab=vocab, embed_dim=embed_dim,
+            name=f"{prefix}embed.t{t}", param_group=f"{prefix}embed",
+        )
+        for layer in range(layers):
+            x = b.lstm(
+                x, hidden, h_prev=h_prev[layer],
+                name=f"{prefix}lstm{layer + 1}.t{t}", param_group=f"{prefix}lstm{layer + 1}",
+            )
+            h_prev[layer] = x
+            outputs[layer].append(x)
+    return outputs
+
+
+def rnntc(
+    batch: int = 64,
+    steps: int = 40,
+    hidden: int = 1024,
+    vocab: int = 10000,
+    num_classes: int = 2,
+) -> OperatorGraph:
+    """4 recurrent layers followed by a softmax classifier (RNNTC)."""
+    b = GraphBuilder("rnntc", batch=batch)
+    outputs = stacked_lstm(b, steps=steps, layers=4, hidden=hidden, vocab=vocab, embed_dim=hidden)
+    logits = b.dense(outputs[-1][-1], num_classes, name="classifier")
+    b.softmax(logits, name="softmax")
+    return b.graph
+
+
+def rnnlm(
+    batch: int = 64,
+    steps: int = 40,
+    hidden: int = 2048,
+    vocab: int = 10000,
+) -> OperatorGraph:
+    """2 recurrent layers with a per-step softmax over the vocabulary."""
+    b = GraphBuilder("rnnlm", batch=batch)
+    outputs = stacked_lstm(b, steps=steps, layers=2, hidden=hidden, vocab=vocab, embed_dim=hidden)
+    for t, h in enumerate(outputs[-1]):
+        logits = b.dense(h, vocab, name=f"lm_logits.t{t}", param_group="lm_logits")
+        b.softmax(logits, name=f"softmax.t{t}")
+    return b.graph
+
+
+def rnnlm_small(batch: int = 64, hidden: int = 256, vocab: int = 1000) -> OperatorGraph:
+    """The Section 8.4 optimality subject: RNNLM restricted to 2 steps."""
+    return rnnlm(batch=batch, steps=2, hidden=hidden, vocab=vocab)

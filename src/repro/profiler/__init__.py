@@ -1,0 +1,16 @@
+"""Operator cost model and caching profiler (paper Section 5, assumption A1)."""
+
+from repro.profiler.calibrate import calibrate_cpu_spec, measure_matmul_gflops
+from repro.profiler.cost_model import OP_EFFICIENCY, noise_factor, task_time_us, update_time_us
+from repro.profiler.profiler import OpProfiler, ProfilerStats
+
+__all__ = [
+    "calibrate_cpu_spec",
+    "measure_matmul_gflops",
+    "OP_EFFICIENCY",
+    "noise_factor",
+    "task_time_us",
+    "update_time_us",
+    "OpProfiler",
+    "ProfilerStats",
+]

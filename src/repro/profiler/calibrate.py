@@ -1,0 +1,95 @@
+"""Calibrate a DeviceSpec by *measuring* real kernels on the host CPU.
+
+The paper's profiler measures each operator once per input size on the
+actual hardware (Section 5.1).  The analytic cost model substitutes for
+GPUs we do not have -- but the same measurement discipline can run for
+real against the host CPU through the NumPy kernels: time a ladder of
+matrix multiplications, fit the roofline parameters, and return a
+:class:`~repro.machine.device.DeviceSpec` describing *this machine*.
+
+This closes the loop on assumption A1 with real data: the fitted spec
+plugs into the same simulator/search stack, so a user can optimize a
+strategy for a cluster of CPU workers that actually exists.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.machine.device import DeviceSpec
+
+__all__ = ["measure_matmul_gflops", "calibrate_cpu_spec"]
+
+
+def measure_matmul_gflops(n: int, repeats: int = 3, rng: np.random.Generator | None = None) -> float:
+    """Sustained GFLOP/s of an ``n x n`` float32 matmul on this host.
+
+    Uses the median of ``repeats`` timed runs (first call warms the BLAS
+    threads); deterministic inputs keep the measurement content-independent,
+    mirroring assumption A1.
+    """
+    rng = rng or np.random.default_rng(0)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+    a @ b  # warm-up
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        a @ b
+        times.append(time.perf_counter() - t0)
+    flops = 2.0 * n**3
+    return flops / (np.median(times) * 1e9)
+
+
+def calibrate_cpu_spec(
+    sizes: tuple[int, ...] = (64, 256, 768),
+    launch_probe_size: int = 8,
+    key: str = "cpu-host",
+) -> DeviceSpec:
+    """Fit a :class:`DeviceSpec` for the host CPU from measured kernels.
+
+    * ``peak_gflops`` -- sustained rate at the largest probed size;
+    * ``sat_flops`` -- half-saturation point fitted from the smallest
+      probe (how many FLOPs a kernel needs to reach half the peak);
+    * ``launch_overhead_us`` -- time of a tiny matmul, which is all
+      dispatch;
+    * ``mem_bw_gbps`` -- measured large-array copy bandwidth.
+    """
+    rates = {n: measure_matmul_gflops(n) for n in sizes}
+    peak = max(rates.values())
+
+    # Fit sat_flops from the smallest size: rate = peak * f/(f + sat).
+    n_small = min(sizes)
+    f_small = 2.0 * n_small**3
+    r_small = rates[n_small]
+    if r_small >= peak:
+        sat = 1.0
+    else:
+        sat = f_small * (peak - r_small) / max(r_small, 1e-9)
+
+    # Launch overhead: a matmul too small to do meaningful work.
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((launch_probe_size, launch_probe_size)).astype(np.float32)
+    a @ a
+    t0 = time.perf_counter()
+    for _ in range(100):
+        a @ a
+    launch_us = (time.perf_counter() - t0) / 100 * 1e6
+
+    # Memory bandwidth: large copy (read + write counted once each).
+    buf = np.zeros(int(4e6), dtype=np.float32)
+    buf.copy()
+    t0 = time.perf_counter()
+    for _ in range(3):
+        buf.copy()
+    bw_gbps = (2 * buf.nbytes * 3) / (time.perf_counter() - t0) / 1e9
+
+    return DeviceSpec(
+        key=key,
+        peak_gflops=float(peak),
+        mem_bw_gbps=float(max(1.0, bw_gbps)),
+        launch_overhead_us=float(max(0.1, launch_us)),
+        sat_flops=float(max(1.0, sat)),
+    )

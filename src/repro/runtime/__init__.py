@@ -1,0 +1,28 @@
+"""Execution runtime substrate: NumPy kernels, distributed emulation,
+high-fidelity reference timing, and an SGD training engine (paper
+Sections 7-8; see DESIGN.md for the substitution rationale)."""
+
+from repro.runtime.data import Dataset, synthetic_classification, synthetic_images
+from repro.runtime.executor import (
+    distributed_forward,
+    init_params,
+    make_inputs,
+    reference_forward,
+)
+from repro.runtime.reference import ReferenceConfig, ReferenceResult, reference_execute
+from repro.runtime.training import Trainer, TrainHistory
+
+__all__ = [
+    "Dataset",
+    "synthetic_classification",
+    "synthetic_images",
+    "distributed_forward",
+    "init_params",
+    "make_inputs",
+    "reference_forward",
+    "ReferenceConfig",
+    "ReferenceResult",
+    "reference_execute",
+    "Trainer",
+    "TrainHistory",
+]

@@ -1,0 +1,68 @@
+"""Synthetic datasets (the stand-ins for ImageNet / PTB / WMT -- DESIGN.md).
+
+Two kinds of data are needed:
+
+* **shape-matched random tensors** for performance work -- the simulator
+  and the equivalence tests only care about shapes (assumption A1:
+  execution time is content-independent), which
+  :func:`repro.runtime.executor.make_inputs` already provides;
+* **learnable tasks** for the training demonstrations (Figure 9 /
+  Table 3 substitutes) -- generated here with a planted teacher model so
+  that loss curves are meaningful and accuracy has a well-defined
+  ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Dataset", "synthetic_classification", "synthetic_images"]
+
+
+@dataclass
+class Dataset:
+    """A simple in-memory dataset with mini-batch iteration."""
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def batches(self, batch: int, rng: np.random.Generator):
+        """Yield shuffled (x, y) mini-batches (drops the ragged tail)."""
+        idx = rng.permutation(len(self.x))
+        for i in range(0, len(idx) - batch + 1, batch):
+            sel = idx[i : i + batch]
+            yield self.x[sel], self.y[sel]
+
+
+def synthetic_classification(
+    n: int = 2048, in_dim: int = 256, num_classes: int = 10, seed: int = 0, noise: float = 0.1
+) -> Dataset:
+    """Linearly-teacher-labelled vectors: learnable by an MLP to ~100%."""
+    rng = np.random.default_rng(seed)
+    teacher = rng.standard_normal((in_dim, num_classes)).astype(np.float32)
+    x = rng.standard_normal((n, in_dim)).astype(np.float32)
+    logits = x @ teacher + noise * rng.standard_normal((n, num_classes)).astype(np.float32)
+    y = logits.argmax(axis=1).astype(np.int64)
+    return Dataset(x=x, y=y, num_classes=num_classes)
+
+
+def synthetic_images(
+    n: int = 1024,
+    channels: int = 1,
+    hw: tuple[int, int] = (28, 28),
+    num_classes: int = 10,
+    seed: int = 0,
+    noise: float = 0.35,
+) -> Dataset:
+    """Template-plus-noise images: each class is a fixed random template."""
+    rng = np.random.default_rng(seed)
+    templates = rng.standard_normal((num_classes, channels, *hw)).astype(np.float32)
+    y = rng.integers(0, num_classes, size=n).astype(np.int64)
+    x = templates[y] + noise * rng.standard_normal((n, channels, *hw)).astype(np.float32)
+    return Dataset(x=x, y=y, num_classes=num_classes)

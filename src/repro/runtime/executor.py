@@ -1,0 +1,283 @@
+"""Distributed-execution emulator: run a SOAP strategy on real tensors.
+
+This is the reproduction's stand-in for the paper's Legion runtime
+(Section 7): given an operator graph, a parallelization strategy, and
+input/parameter arrays, it executes every *task* of the strategy on its
+own sub-tensors -- each task reads exactly the input regions
+:meth:`~repro.ir.ops.Operation.input_region` declares and exactly its
+parameter shard, computes with the NumPy kernels, and writes its output
+region.  Assembling the task outputs must reproduce the unpartitioned
+computation bit-for-bit; ``tests/runtime`` asserts this for every op type
+and for whole models under random strategies, which is the correctness
+half of what the paper's runtime demonstrates (any SOAP strategy is
+executable and computes the same function).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.dims import Region, TensorShape
+from repro.ir.graph import OperatorGraph
+from repro.ir.op_conv import Conv1D, Conv2D, Pool1D, Pool2D
+from repro.ir.op_dense import Embedding, Flatten, MatMul, Softmax
+from repro.ir.op_misc import BatchNorm, Concat, Elementwise, Input
+from repro.ir.op_rnn import Attention, LSTMCell
+from repro.ir.ops import Operation, ParamSpec
+from repro.runtime import kernels
+from repro.soap.strategy import Strategy
+
+__all__ = ["init_params", "make_inputs", "reference_forward", "distributed_forward"]
+
+
+def _param_slice(op: Operation, spec: ParamSpec, region: Region, arr: np.ndarray) -> np.ndarray:
+    """The shard of parameter ``arr`` owned by the task with ``region``."""
+    if spec.partition_dim is None or spec.partition_dim not in region.names:
+        return arr
+    lo, hi = region.range(spec.partition_dim)
+    size = op.out_shape.size(spec.partition_dim)
+    axis_len = spec.shape[spec.axis]
+    a_lo = lo * axis_len // size
+    a_hi = hi * axis_len // size
+    idx = [slice(None)] * arr.ndim
+    idx[spec.axis] = slice(a_lo, a_hi)
+    return arr[tuple(idx)]
+
+
+def _lstm_weight_slice(op: LSTMCell, region: Region, weight: np.ndarray, bias: np.ndarray):
+    """Gate-structured shard: columns [g*H+lo, g*H+hi) of each gate block."""
+    lo, hi = region.range("channel")
+    h = op.hidden
+    cols = np.concatenate([np.arange(g * h + lo, g * h + hi) for g in range(4)])
+    return weight[:, cols], bias[cols]
+
+
+def _init_one(p: ParamSpec, rng: np.random.Generator) -> np.ndarray:
+    """He-style initialization: biases zero, gammas one, weights 1/sqrt(fan_in).
+
+    The fan-in of a weight tensor is its volume divided by the extent of
+    its output axis -- which is exactly the axis its ``partition_dim``
+    shards (conv filters: axis 0; matmul/LSTM/attention: axis 1).
+    """
+    if p.name in ("bias", "beta"):
+        return np.zeros(p.shape, dtype=np.float32)
+    if p.name == "gamma":
+        return np.ones(p.shape, dtype=np.float32)
+    if p.name == "table":
+        return (0.1 * rng.standard_normal(p.shape)).astype(np.float32)
+    fan_in = max(1, p.volume // p.shape[p.axis])
+    return (rng.standard_normal(p.shape) / np.sqrt(fan_in)).astype(np.float32)
+
+
+def init_params(graph: OperatorGraph, seed: int = 0) -> dict[int, dict[str, np.ndarray]]:
+    """Random parameter arrays for every op; weight groups share arrays."""
+    rng = np.random.default_rng(seed)
+    shared: dict[str, dict[str, np.ndarray]] = {}
+    out: dict[int, dict[str, np.ndarray]] = {}
+    for oid in graph.op_ids:
+        op = graph.op(oid)
+        if not op.params:
+            out[oid] = {}
+            continue
+        gkey = graph.group_key(oid)
+        if gkey not in shared:
+            shared[gkey] = {p.name: _init_one(p, rng) for p in op.params}
+        out[oid] = shared[gkey]
+    return out
+
+
+def make_inputs(graph: OperatorGraph, seed: int = 0) -> dict[int, np.ndarray]:
+    """Random input arrays for every Input op (token inputs get ids)."""
+    rng = np.random.default_rng(seed + 1)
+    out: dict[int, np.ndarray] = {}
+    for oid in graph.op_ids:
+        op = graph.op(oid)
+        if not isinstance(op, Input):
+            continue
+        shape = op.out_shape.sizes()
+        consumers = [graph.op(e.dst) for e in graph.consumers_of(oid)]
+        if any(isinstance(c, Embedding) for c in consumers):
+            vocab = min(c.vocab for c in consumers if isinstance(c, Embedding))
+            out[oid] = rng.integers(0, vocab, size=shape).astype(np.float32)
+        else:
+            out[oid] = rng.standard_normal(shape).astype(np.float32)
+    return out
+
+
+def _run_op(
+    op: Operation,
+    x_subs: list[np.ndarray | None],
+    params: dict[str, np.ndarray],
+    region: Region,
+) -> np.ndarray:
+    """Execute one task: inputs are already sliced to the needed regions."""
+    if isinstance(op, Input):
+        raise AssertionError("Input ops are materialized, not executed")
+    if isinstance(op, Conv2D):
+        w = _param_slice(op, op.params[0], region, params["weight"])
+        b = _param_slice(op, op.params[1], region, params["bias"]) if op.use_bias else None
+        # Re-derive the padding that applies to this sub-block: interior
+        # edges carry halo data, exterior edges keep the original padding.
+        h_lo, h_hi = region.range("height")
+        w_lo, w_hi = region.range("width")
+        need = op.input_region(region, 0)
+        ih_lo, _ = need.range("height")
+        iw_lo, _ = need.range("width")
+        pad_top = max(0, op.padding[0] - h_lo * op.stride[0]) if ih_lo == 0 else 0
+        pad_left = max(0, op.padding[1] - w_lo * op.stride[1]) if iw_lo == 0 else 0
+        x = x_subs[0]
+        # Pad the sub-input so that output index 0 aligns with h_lo.
+        out_h = h_hi - h_lo
+        out_w = w_hi - w_lo
+        need_h = (out_h - 1) * op.stride[0] + op.kernel[0]
+        need_w = (out_w - 1) * op.stride[1] + op.kernel[1]
+        pad_bottom = need_h - x.shape[2] - pad_top
+        pad_right = need_w - x.shape[3] - pad_left
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (pad_top, max(0, pad_bottom)), (pad_left, max(0, pad_right))),
+        )
+        return kernels.conv2d(x, w, b, stride=op.stride, padding=(0, 0), act=op.activation)
+    if isinstance(op, Pool2D):
+        h_lo, h_hi = region.range("height")
+        w_lo, w_hi = region.range("width")
+        need = op.input_region(region, 0)
+        ih_lo, _ = need.range("height")
+        iw_lo, _ = need.range("width")
+        pad_top = max(0, op.padding[0] - h_lo * op.stride[0]) if ih_lo == 0 else 0
+        pad_left = max(0, op.padding[1] - w_lo * op.stride[1]) if iw_lo == 0 else 0
+        x = x_subs[0]
+        out_h = h_hi - h_lo
+        out_w = w_hi - w_lo
+        need_h = (out_h - 1) * op.stride[0] + op.kernel[0]
+        need_w = (out_w - 1) * op.stride[1] + op.kernel[1]
+        pad_bottom = need_h - x.shape[2] - pad_top
+        pad_right = need_w - x.shape[3] - pad_left
+        pad_value = -np.inf if op.kind == "max" else 0.0
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (pad_top, max(0, pad_bottom)), (pad_left, max(0, pad_right))),
+            constant_values=pad_value,
+        )
+        return kernels.pool2d(x, op.kernel, op.stride, padding=(0, 0), kind=op.kind)
+    if isinstance(op, Conv1D):
+        w = _param_slice(op, op.params[0], region, params["weight"])
+        b = _param_slice(op, op.params[1], region, params["bias"]) if op.use_bias else None
+        l_lo, l_hi = region.range("length")
+        need = op.input_region(region, 0)
+        il_lo, _ = need.range("length")
+        pad_left = max(0, op.padding - l_lo * op.stride) if il_lo == 0 else 0
+        x = x_subs[0]
+        need_l = (l_hi - l_lo - 1) * op.stride + op.kernel
+        pad_right = need_l - x.shape[2] - pad_left
+        x = np.pad(x, ((0, 0), (0, 0), (pad_left, max(0, pad_right))))
+        return kernels.conv1d(x, w, b, stride=op.stride, padding=0, act=op.activation)
+    if isinstance(op, Pool1D):
+        l_lo, l_hi = region.range("length")
+        need = op.input_region(region, 0)
+        il_lo, _ = need.range("length")
+        pad_left = max(0, op.padding - l_lo * op.stride) if il_lo == 0 else 0
+        x = x_subs[0]
+        need_l = (l_hi - l_lo - 1) * op.stride + op.kernel
+        pad_right = need_l - x.shape[2] - pad_left
+        pad_value = -np.inf if op.kind == "max" else 0.0
+        x = np.pad(x, ((0, 0), (0, 0), (pad_left, max(0, pad_right))), constant_values=pad_value)
+        return kernels.pool1d(x, op.kernel, op.stride, padding=0, kind=op.kind)
+    if isinstance(op, MatMul):
+        w = _param_slice(op, op.params[0], region, params["weight"])
+        b = _param_slice(op, op.params[1], region, params["bias"]) if op.use_bias else None
+        return kernels.matmul(x_subs[0], w, b, act=op.activation)
+    if isinstance(op, Embedding):
+        table = _param_slice(op, op.params[0], region, params["table"])
+        return kernels.embedding(x_subs[0], table)
+    if isinstance(op, Softmax):
+        return kernels.softmax(x_subs[0], axis=-1)
+    if isinstance(op, Flatten):
+        x = x_subs[0]
+        return x.reshape(x.shape[0], -1)
+    if isinstance(op, LSTMCell):
+        w, b = _lstm_weight_slice(op, region, params["weight"], params["bias"])
+        x = x_subs[0]
+        h_prev = x_subs[1] if op.has_state_input else np.zeros((x.shape[0], op.hidden), np.float32)
+        lo, hi = region.range("channel")
+        c_prev = np.zeros((x.shape[0], hi - lo), np.float32)
+        h, _ = kernels.lstm_cell(x, h_prev, c_prev, w, b)
+        return h
+    if isinstance(op, Attention):
+        proj = _param_slice(op, op.params[0], region, params["proj"])
+        return kernels.attention(x_subs[0], list(x_subs[1:]), proj)
+    if isinstance(op, Concat):
+        # x_subs are aligned with input slots; None = nothing needed.
+        parts = [x for x in x_subs if x is not None]
+        axis = op.out_shape.axis(op.axis)
+        return np.concatenate(parts, axis=axis).astype(np.float32)
+    if isinstance(op, Elementwise):
+        return kernels.elementwise(op.kind, [x for x in x_subs if x is not None])
+    if isinstance(op, BatchNorm):
+        gamma = _param_slice(op, op.params[0], region, params["gamma"])
+        beta = _param_slice(op, op.params[1], region, params["beta"])
+        return kernels.batchnorm_affine(x_subs[0], gamma, beta)
+    raise NotImplementedError(f"no kernel for {type(op).__name__}")
+
+
+def _slice_array(arr: np.ndarray, region: Region, shape: TensorShape) -> np.ndarray:
+    return arr[region.to_slices(shape)]
+
+
+def reference_forward(
+    graph: OperatorGraph,
+    params: dict[int, dict[str, np.ndarray]],
+    inputs: dict[int, np.ndarray],
+) -> dict[int, np.ndarray]:
+    """Unpartitioned single-device forward pass (the gold standard)."""
+    out: dict[int, np.ndarray] = {}
+    for oid in graph.topo_order():
+        op = graph.op(oid)
+        if isinstance(op, Input):
+            out[oid] = inputs[oid]
+            continue
+        region = op.out_shape.full_region()
+        x_subs: list[np.ndarray | None] = []
+        for slot, src in enumerate(graph.inputs_of(oid)):
+            need = op.input_region(region, slot)
+            if need is None:
+                x_subs.append(None)
+            else:
+                x_subs.append(_slice_array(out[src], need, graph.op(src).out_shape))
+        out[oid] = _run_op(op, x_subs, params[oid], region)
+    return out
+
+
+def distributed_forward(
+    graph: OperatorGraph,
+    strategy: Strategy,
+    params: dict[int, dict[str, np.ndarray]],
+    inputs: dict[int, np.ndarray],
+) -> dict[int, np.ndarray]:
+    """Forward pass executed task-by-task under ``strategy``.
+
+    Every task computes only from its declared input regions and its
+    parameter shard; the per-op results are assembled from the task
+    output regions.  Equality with :func:`reference_forward` validates
+    the partitioning semantics of the whole SOAP machinery.
+    """
+    out: dict[int, np.ndarray] = {}
+    for oid in graph.topo_order():
+        op = graph.op(oid)
+        if isinstance(op, Input):
+            out[oid] = inputs[oid]
+            continue
+        cfg = strategy[oid]
+        buf = np.zeros(op.out_shape.sizes(), dtype=np.float32)
+        for k in range(cfg.num_tasks):
+            region = cfg.task_region(op, k)
+            x_subs: list[np.ndarray | None] = []
+            for slot, src in enumerate(graph.inputs_of(oid)):
+                need = op.input_region(region, slot)
+                if need is None:
+                    x_subs.append(None)
+                else:
+                    x_subs.append(_slice_array(out[src], need, graph.op(src).out_shape))
+            buf[region.to_slices(op.out_shape)] = _run_op(op, x_subs, params[oid], region)
+        out[oid] = buf
+    return out

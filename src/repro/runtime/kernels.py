@@ -1,0 +1,240 @@
+"""NumPy kernels for every operator in the library.
+
+These are the "cuDNN/cuBLAS" of the reproduction (DESIGN.md substitution
+table): the distributed-execution emulator runs each *task* of a
+parallelization strategy through these kernels on real arrays, and the
+equivalence tests assert that the assembled sub-tensor results are
+numerically identical to an unpartitioned execution.
+
+Conventions:
+
+* Tensors are float32; image tensors are laid out (N, C, H, W), sequence
+  tensors (N, L, C) or (N, C).
+* ``conv2d`` / ``pool2d`` accept explicit zero padding; pooling includes
+  padding in the average (consistently in both the partitioned and the
+  reference path).
+* The LSTM kernel takes the previous cell state explicitly; the operator
+  graph carries only ``h`` between cells, so the executor supplies
+  ``c_prev = 0`` -- a deterministic, partition-consistent stand-in that
+  preserves the cost structure (see DESIGN.md).
+* BatchNorm is the inference-style affine transform (batch statistics
+  would break sample-partition equivalence; model graphs fuse BN anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "activation",
+    "conv2d",
+    "conv1d",
+    "pool2d",
+    "pool1d",
+    "matmul",
+    "embedding",
+    "softmax",
+    "lstm_cell",
+    "attention",
+    "batchnorm_affine",
+    "elementwise",
+]
+
+
+def activation(x: np.ndarray, kind: str | None) -> np.ndarray:
+    """Apply a named activation (``None`` is the identity)."""
+    if kind is None:
+        return x
+    if kind == "relu":
+        return np.maximum(x, 0.0)
+    if kind == "tanh":
+        return np.tanh(x)
+    if kind == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-x))
+    raise ValueError(f"unknown activation {kind!r}")
+
+
+def _pad2d(x: np.ndarray, pad: tuple[int, int], value: float = 0.0) -> np.ndarray:
+    if pad == (0, 0):
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (pad[0], pad[0]), (pad[1], pad[1])), constant_values=value
+    )
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: tuple[int, int]) -> np.ndarray:
+    """(N, C, H, W) -> (N, out_h, out_w, C*kh*kw) patches."""
+    n, c, h, w = x.shape
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    s0, s1, s2, s3 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+        writeable=False,
+    )
+    return patches.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kh * kw)
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: tuple[int, int] = (1, 1),
+    padding: tuple[int, int] = (0, 0),
+    act: str | None = "relu",
+) -> np.ndarray:
+    """2D convolution via im2col.  weight: (C_out, C_in, kh, kw)."""
+    c_out, c_in, kh, kw = weight.shape
+    xp = _pad2d(x, padding)
+    cols = _im2col(xp, kh, kw, stride)  # (N, oh, ow, C*kh*kw)
+    w2 = weight.reshape(c_out, -1)
+    y = cols @ w2.T  # (N, oh, ow, C_out)
+    if bias is not None:
+        y = y + bias
+    y = y.transpose(0, 3, 1, 2)
+    return activation(y, act).astype(np.float32)
+
+
+def conv1d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int = 1,
+    padding: int = 0,
+    act: str | None = "relu",
+) -> np.ndarray:
+    """1D convolution over (N, C, L).  weight: (C_out, C_in, k)."""
+    x4 = x[:, :, None, :]  # (N, C, 1, L)
+    w4 = weight[:, :, None, :]
+    y = conv2d(x4, w4, bias, stride=(1, stride), padding=(0, padding), act=act)
+    return y[:, :, 0, :]
+
+
+def pool2d(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int] = (0, 0),
+    kind: str = "max",
+) -> np.ndarray:
+    """2D pooling; padding participates in both max (as -inf) and avg (as 0)."""
+    pad_value = -np.inf if kind == "max" else 0.0
+    xp = _pad2d(x, padding, value=pad_value)
+    n, c, h, w = xp.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    s0, s1, s2, s3 = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+        writeable=False,
+    )
+    if kind == "max":
+        return windows.max(axis=(4, 5)).astype(np.float32)
+    return windows.mean(axis=(4, 5)).astype(np.float32)
+
+
+def pool1d(
+    x: np.ndarray, kernel: int, stride: int, padding: int = 0, kind: str = "max"
+) -> np.ndarray:
+    x4 = x[:, :, None, :]
+    y = pool2d(x4, kernel=(1, kernel), stride=(1, stride), padding=(0, padding), kind=kind)
+    return y[:, :, 0, :]
+
+
+def matmul(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, act: str | None = None
+) -> np.ndarray:
+    """Dense layer over (N, C) or (N, L, C).  weight: (C_in, C_out)."""
+    y = x @ weight
+    if bias is not None:
+        y = y + bias
+    return activation(y, act).astype(np.float32)
+
+
+def embedding(ids: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Gather rows of ``table`` (vocab, embed) by integer ``ids``."""
+    return table[ids.astype(np.int64)].astype(np.float32)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return (e / e.sum(axis=axis, keepdims=True)).astype(np.float32)
+
+
+def lstm_cell(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One LSTM step.  weight: (in+hidden, 4*out), gate order i,f,g,o.
+
+    ``out`` may be a channel *slice* of the hidden size when the cell is
+    parameter-partitioned -- the caller passes gate-structured weight
+    columns and a matching ``c_prev`` slice.  Returns ``(h, c)``.
+    """
+    z = np.concatenate([x, h_prev], axis=-1) @ weight + bias
+    i, f, g, o = np.split(z, 4, axis=-1)
+    i = 1.0 / (1.0 + np.exp(-i))
+    f = 1.0 / (1.0 + np.exp(-f))
+    o = 1.0 / (1.0 + np.exp(-o))
+    g = np.tanh(g)
+    c = f * c_prev + i * g
+    h = o * np.tanh(c)
+    assert h.shape == c_prev.shape, (h.shape, c_prev.shape)
+    return h.astype(np.float32), c.astype(np.float32)
+
+
+def attention(
+    dec_h: np.ndarray, enc_states: list[np.ndarray], proj: np.ndarray
+) -> np.ndarray:
+    """Dot-product attention + output projection.
+
+    proj: (2*hidden, hidden_out_slice); returns (N, hidden_out_slice).
+    """
+    hidden = dec_h.shape[-1]
+    enc = np.stack(enc_states, axis=1)  # (N, L, H)
+    scores = (enc @ dec_h[:, :, None])[:, :, 0] / np.sqrt(hidden)  # (N, L)
+    alpha = softmax(scores, axis=-1)
+    ctx = (alpha[:, :, None] * enc).sum(axis=1)  # (N, H)
+    cat = np.concatenate([ctx, dec_h], axis=-1)  # (N, 2H)
+    return np.tanh(cat @ proj).astype(np.float32)
+
+
+def batchnorm_affine(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    """Inference-style BN: per-channel affine transform (channel = axis 1)."""
+    shape = [1, -1] + [1] * (x.ndim - 2)
+    return (x * gamma.reshape(shape) + beta.reshape(shape)).astype(np.float32)
+
+
+def elementwise(kind: str, xs: list[np.ndarray]) -> np.ndarray:
+    if kind == "add":
+        out = xs[0]
+        for x in xs[1:]:
+            out = out + x
+        return out.astype(np.float32)
+    if kind == "mul":
+        out = xs[0]
+        for x in xs[1:]:
+            out = out * x
+        return out.astype(np.float32)
+    if kind == "relu":
+        return np.maximum(xs[0], 0.0).astype(np.float32)
+    if kind == "tanh":
+        return np.tanh(xs[0]).astype(np.float32)
+    if kind == "sigmoid":
+        return (1.0 / (1.0 + np.exp(-xs[0]))).astype(np.float32)
+    if kind == "dropout":
+        # Deterministic identity: dropout is a no-op at evaluation time,
+        # which keeps partitioned and reference executions comparable.
+        return xs[0].astype(np.float32)
+    raise ValueError(f"unknown elementwise kind {kind!r}")

@@ -1,0 +1,218 @@
+"""SGD training engine for chain-structured CNN/MLP graphs.
+
+Supports the Figure 9 / Table 3 substitutes (see DESIGN.md): FlexFlow's
+claim is that it "performs the same computation as other deep learning
+systems ... and therefore achieves the same model accuracy"; we
+demonstrate the underlying fact directly by (a) training real models with
+real gradients and (b) asserting (in ``tests/runtime``) that the
+distributed forward pass under any strategy is numerically identical to
+the reference forward pass, so every strategy yields the same training
+trajectory.
+
+The engine handles linear graphs over Input / Conv2D / Pool2D / Flatten /
+MatMul / Softmax (LeNet, AlexNet-style CNNs, MLPs) with softmax
+cross-entropy loss; parameters are the shared arrays produced by
+:func:`repro.runtime.executor.init_params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.graph import OperatorGraph
+from repro.ir.op_conv import Conv2D, Pool2D
+from repro.ir.op_dense import Flatten, MatMul, Softmax
+from repro.ir.op_misc import Input
+from repro.runtime import kernels
+from repro.runtime.data import Dataset
+from repro.runtime.executor import init_params
+
+__all__ = ["TrainHistory", "Trainer"]
+
+
+@dataclass
+class TrainHistory:
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: tuple[int, int]) -> np.ndarray:
+    n, c, h, w = x.shape
+    sh, sw = stride
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    s0, s1, s2, s3 = x.strides
+    p = np.lib.stride_tricks.as_strided(
+        x, (n, c, oh, ow, kh, kw), (s0, s1, s2 * sh, s3 * sw, s2, s3), writeable=False
+    )
+    return p.transpose(0, 2, 3, 1, 4, 5).reshape(n, oh, ow, c * kh * kw)
+
+
+def _col2im(
+    cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int, stride: tuple[int, int]
+) -> np.ndarray:
+    """Inverse of _im2col (sums overlapping contributions)."""
+    n, c, h, w = x_shape
+    sh, sw = stride
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    dx = np.zeros(x_shape, dtype=np.float32)
+    cols = cols.reshape(n, oh, ow, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + oh * sh : sh, j : j + ow * sw : sw] += cols[:, :, :, :, i, j].transpose(
+                0, 3, 1, 2
+            )
+    return dx
+
+
+class Trainer:
+    """Mini-batch SGD over a chain-structured classification graph."""
+
+    SUPPORTED = (Input, Conv2D, Pool2D, Flatten, MatMul, Softmax)
+
+    def __init__(self, graph: OperatorGraph, lr: float = 0.05, seed: int = 0):
+        self.graph = graph
+        self.lr = lr
+        self.params = init_params(graph, seed=seed)
+        self.order = list(graph.topo_order())
+        for oid in self.order:
+            op = graph.op(oid)
+            if not isinstance(op, self.SUPPORTED):
+                raise NotImplementedError(
+                    f"Trainer supports chain CNN/MLP graphs; got {type(op).__name__}"
+                )
+
+    # -- forward with caches -------------------------------------------------
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[dict]]:
+        caches: list[dict] = []
+        for oid in self.order:
+            op = self.graph.op(oid)
+            cache: dict = {"oid": oid, "op": op, "x": x}
+            if isinstance(op, Input):
+                pass
+            elif isinstance(op, Conv2D):
+                xp = np.pad(
+                    x, ((0, 0), (0, 0), (op.padding[0],) * 2, (op.padding[1],) * 2)
+                )
+                cols = _im2col(xp, op.kernel[0], op.kernel[1], op.stride)
+                w2 = self.params[oid]["weight"].reshape(op.out_channels, -1)
+                z = cols @ w2.T + self.params[oid]["bias"]
+                y = np.maximum(z, 0.0) if op.activation == "relu" else z
+                x = y.transpose(0, 3, 1, 2).astype(np.float32)
+                cache.update(cols=cols, z=z, xp_shape=xp.shape)
+            elif isinstance(op, Pool2D):
+                if op.kind != "max" or op.padding != (0, 0):
+                    raise NotImplementedError("Trainer pools: unpadded max only")
+                y = kernels.pool2d(x, op.kernel, op.stride, kind="max")
+                cache.update(y=y)
+                x = y
+            elif isinstance(op, Flatten):
+                cache.update(in_shape=x.shape)
+                x = x.reshape(x.shape[0], -1)
+            elif isinstance(op, MatMul):
+                z = x @ self.params[oid]["weight"] + self.params[oid]["bias"]
+                y = np.maximum(z, 0.0) if op.activation == "relu" else z
+                cache.update(z=z)
+                x = y.astype(np.float32)
+            elif isinstance(op, Softmax):
+                x = kernels.softmax(x)
+            caches.append(cache)
+        return x, caches
+
+    # -- one SGD step --------------------------------------------------------
+    def step(self, xb: np.ndarray, yb: np.ndarray) -> tuple[float, float]:
+        """Returns (loss, accuracy) on the batch after one update."""
+        probs, caches = self._forward(xb.astype(np.float32))
+        n = len(yb)
+        loss = float(-np.log(np.clip(probs[np.arange(n), yb], 1e-12, None)).mean())
+        acc = float((probs.argmax(axis=1) == yb).mean())
+
+        grad = probs.copy()
+        grad[np.arange(n), yb] -= 1.0
+        grad /= n
+
+        for cache in reversed(caches):
+            op = cache["op"]
+            oid = cache["oid"]
+            if isinstance(op, Softmax):
+                continue  # fused with the cross-entropy gradient above
+            if isinstance(op, MatMul):
+                z = cache["z"]
+                if op.activation == "relu":
+                    grad = grad * (z > 0)
+                x = cache["x"]
+                p = self.params[oid]
+                p["weight"] -= self.lr * (x.T @ grad).astype(np.float32)
+                p["bias"] -= self.lr * grad.sum(axis=0).astype(np.float32)
+                grad = grad @ p["weight"].T
+            elif isinstance(op, Flatten):
+                grad = grad.reshape(cache["in_shape"])
+            elif isinstance(op, Pool2D):
+                x = cache["x"]
+                kh, kw = op.kernel
+                sh, sw = op.stride
+                n_, c_, h, w = x.shape
+                oh = (h - kh) // sh + 1
+                ow = (w - kw) // sw + 1
+                s0, s1, s2, s3 = x.strides
+                win = np.lib.stride_tricks.as_strided(
+                    x, (n_, c_, oh, ow, kh, kw), (s0, s1, s2 * sh, s3 * sw, s2, s3),
+                    writeable=False,
+                ).reshape(n_, c_, oh, ow, kh * kw)
+                arg = win.argmax(axis=-1)
+                dx = np.zeros_like(x)
+                # Route each output gradient to its (single) argmax input.
+                for idx in range(kh * kw):
+                    i, j = divmod(idx, kw)
+                    m = (arg == idx) * grad
+                    dx[:, :, i : i + oh * sh : sh, j : j + ow * sw : sw] += m
+                grad = dx.astype(np.float32)
+            elif isinstance(op, Conv2D):
+                z, cols = cache["z"], cache["cols"]
+                gy = grad.transpose(0, 2, 3, 1)  # (N, oh, ow, C_out)
+                if op.activation == "relu":
+                    gy = gy * (z > 0)
+                n_, oh, ow, co = gy.shape
+                g2 = gy.reshape(-1, co)
+                c2 = cols.reshape(-1, cols.shape[-1])
+                p = self.params[oid]
+                dw = (g2.T @ c2).reshape(p["weight"].shape)
+                p["weight"] -= self.lr * dw.astype(np.float32)
+                p["bias"] -= self.lr * g2.sum(axis=0).astype(np.float32)
+                dcols = (g2 @ p["weight"].reshape(co, -1)).reshape(n_, oh, ow, -1)
+                dxp = _col2im(dcols, cache["xp_shape"], op.kernel[0], op.kernel[1], op.stride)
+                ph, pw = op.padding
+                grad = dxp[:, :, ph : dxp.shape[2] - ph or None, pw : dxp.shape[3] - pw or None]
+            elif isinstance(op, Input):
+                break
+        return loss, acc
+
+    def train(self, dataset: Dataset, epochs: int = 3, batch: int | None = None, seed: int = 0) -> TrainHistory:
+        """Run SGD for ``epochs`` over ``dataset``; returns the history."""
+        batch = batch or self.graph.op(self.order[0]).out_shape.size("sample")
+        rng = np.random.default_rng(seed)
+        history = TrainHistory()
+        for _ in range(epochs):
+            for xb, yb in dataset.batches(batch, rng):
+                loss, acc = self.step(xb, yb)
+                history.losses.append(loss)
+                history.accuracies.append(acc)
+        return history
+
+    def evaluate(self, dataset: Dataset, batch: int | None = None) -> float:
+        """Mean accuracy over the dataset (no updates)."""
+        batch = batch or self.graph.op(self.order[0]).out_shape.size("sample")
+        correct = 0
+        total = 0
+        for i in range(0, len(dataset) - batch + 1, batch):
+            probs, _ = self._forward(dataset.x[i : i + batch].astype(np.float32))
+            correct += int((probs.argmax(axis=1) == dataset.y[i : i + batch]).sum())
+            total += batch
+        return correct / total if total else 0.0

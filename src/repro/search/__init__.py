@@ -1,0 +1,15 @@
+"""Execution optimizer (paper Section 6): MCMC search plus exhaustive reference."""
+
+from repro.search.exhaustive import ExhaustiveResult, exhaustive_search
+from repro.search.mcmc import MCMCConfig, SearchTrace, mcmc_search
+from repro.search.optimizer import OptimizeResult, optimize
+
+__all__ = [
+    "ExhaustiveResult",
+    "exhaustive_search",
+    "MCMCConfig",
+    "SearchTrace",
+    "mcmc_search",
+    "OptimizeResult",
+    "optimize",
+]

@@ -1,0 +1,130 @@
+"""MCMC search over parallelization strategies (Section 6 of the paper).
+
+Metropolis-Hastings with the paper's cost-to-probability transform
+(Equation 1, ``p(S) proportional to exp(-beta * cost(S))``) and acceptance
+criterion (Equation 2).  The proposal distribution picks an operation
+uniformly at random and replaces its configuration with one drawn
+uniformly from that op's configuration space -- symmetric by construction
+(Section 6.2), so the Hastings correction vanishes.
+
+Each proposal is evaluated through the live :class:`~repro.sim.Simulator`:
+the task graph is spliced incrementally and the timeline repaired by the
+delta algorithm (or rebuilt by the full algorithm, for the Table 4 / Fig.
+12 comparisons).  Rejected proposals are undone by splicing the previous
+configuration back -- the delta algorithm guarantees the restored timeline
+is identical to the pre-proposal one.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.simulator import Simulator
+from repro.soap.space import ConfigSpace
+from repro.soap.strategy import Strategy
+
+__all__ = ["MCMCConfig", "SearchTrace", "mcmc_search"]
+
+
+@dataclass(frozen=True)
+class MCMCConfig:
+    """Hyper-parameters of the Markov chain.
+
+    ``beta_scale`` sets beta relative to the initial cost:
+    ``beta = beta_scale / cost(S_0)``, so a proposal 1% worse than the
+    current strategy is accepted with probability ``exp(-beta_scale/100)``
+    regardless of the model's absolute time scale.
+    """
+
+    beta_scale: float = 50.0
+    iterations: int = 1000
+    time_budget_s: float | None = None
+    # Stop when no improvement has been seen for this fraction of the
+    # elapsed budget (Section 6.2's criterion (2): "cannot further improve
+    # ... for half of the search time").
+    no_improve_frac: float = 0.5
+    seed: int = 0
+
+
+@dataclass
+class SearchTrace:
+    """Progress record of one chain (drives Figure 12)."""
+
+    costs: list[float] = field(default_factory=list)  # current cost per iteration
+    best_costs: list[float] = field(default_factory=list)  # best-so-far per iteration
+    times_s: list[float] = field(default_factory=list)  # wall-clock per iteration
+    accepted: int = 0
+    proposed: int = 0
+
+    def record(self, cost: float, best: float, t: float) -> None:
+        self.costs.append(cost)
+        self.best_costs.append(best)
+        self.times_s.append(t)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.proposed if self.proposed else 0.0
+
+
+def mcmc_search(
+    simulator: Simulator,
+    space: ConfigSpace,
+    config: MCMCConfig,
+) -> tuple[Strategy, float, SearchTrace]:
+    """Run one Markov chain from the simulator's current strategy.
+
+    Returns ``(best_strategy, best_cost_us, trace)``.  The simulator is
+    left at the final (not necessarily best) state of the chain.
+    """
+    rng = np.random.default_rng(config.seed)
+    graph = simulator.graph
+    op_ids = graph.op_ids
+
+    current_cost = simulator.cost
+    best_cost = current_cost
+    best_strategy = simulator.strategy.copy()
+    beta = config.beta_scale / max(current_cost, 1e-9)
+
+    trace = SearchTrace()
+    t0 = time.perf_counter()
+    last_improve_t = 0.0
+    last_improve_iter = 0
+
+    for it in range(config.iterations):
+        elapsed = time.perf_counter() - t0
+        if config.time_budget_s is not None and elapsed >= config.time_budget_s:
+            break
+        # Criterion (2): half the search time without improvement.
+        if config.time_budget_s is not None:
+            if elapsed - last_improve_t >= config.no_improve_frac * config.time_budget_s:
+                break
+        elif it - last_improve_iter >= max(1, int(config.no_improve_frac * config.iterations)):
+            break
+
+        op_id = int(op_ids[int(rng.integers(0, len(op_ids)))])
+        old_cfg = simulator.strategy[op_id]
+        new_cfg = space.random_config(op_id, rng)
+        trace.proposed += 1
+
+        new_cost = simulator.reconfigure(op_id, new_cfg)
+        accept = new_cost <= current_cost or rng.random() < math.exp(
+            -beta * (new_cost - current_cost)
+        )
+        if accept:
+            trace.accepted += 1
+            current_cost = new_cost
+            if new_cost < best_cost:
+                best_cost = new_cost
+                best_strategy = simulator.strategy.copy()
+                last_improve_t = time.perf_counter() - t0
+                last_improve_iter = it
+        else:
+            simulator.reconfigure(op_id, old_cfg)
+
+        trace.record(current_cost, best_cost, time.perf_counter() - t0)
+
+    return best_strategy, best_cost, trace

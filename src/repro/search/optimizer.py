@@ -1,0 +1,139 @@
+"""The execution optimizer: multi-start MCMC over the SOAP space.
+
+Mirrors Section 6.2's search procedure: the optimizer seeds chains from
+existing strategies (data parallelism by default, optionally the expert
+strategy) plus randomly generated strategies, runs each chain until its
+budget is exhausted or it stalls, and returns the best strategy any chain
+discovered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.graph import OperatorGraph
+from repro.machine.topology import DeviceTopology
+from repro.profiler.profiler import OpProfiler
+from repro.sim.metrics import IterationMetrics, throughput_samples_per_sec
+from repro.sim.simulator import Simulator, simulate_strategy
+from repro.search.mcmc import MCMCConfig, SearchTrace, mcmc_search
+from repro.soap.presets import data_parallelism, expert_strategy
+from repro.soap.space import ConfigSpace
+from repro.soap.strategy import Strategy
+
+__all__ = ["OptimizeResult", "optimize"]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of an optimizer run."""
+
+    best_strategy: Strategy
+    best_cost_us: float
+    metrics: IterationMetrics
+    traces: dict[str, SearchTrace] = field(default_factory=dict)
+    init_costs: dict[str, float] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    simulations: int = 0
+
+    @property
+    def simulations_per_sec(self) -> float:
+        return self.simulations / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def throughput(self, batch: int) -> float:
+        return throughput_samples_per_sec(batch, self.best_cost_us)
+
+    def summary(self) -> str:
+        lines = [
+            f"best per-iteration time: {self.best_cost_us / 1e3:.3f} ms",
+            f"search wall time: {self.wall_time_s:.2f} s "
+            f"({self.simulations} simulations, {self.simulations_per_sec:.0f}/s)",
+        ]
+        for name, c in self.init_costs.items():
+            speedup = c / self.best_cost_us if self.best_cost_us > 0 else float("inf")
+            lines.append(f"  vs {name}: {c / 1e3:.3f} ms ({speedup:.2f}x)")
+        return "\n".join(lines)
+
+
+def optimize(
+    graph: OperatorGraph,
+    topology: DeviceTopology,
+    profiler: OpProfiler | None = None,
+    budget_iters: int = 1000,
+    time_budget_s: float | None = None,
+    inits: tuple[str, ...] = ("data_parallel", "random"),
+    seed: int = 0,
+    algorithm: str = "delta",
+    beta_scale: float = 50.0,
+    training: bool = True,
+) -> OptimizeResult:
+    """Find a fast parallelization strategy for ``graph`` on ``topology``.
+
+    Parameters
+    ----------
+    budget_iters:
+        MCMC iterations per initial candidate (the per-chain budget).
+    time_budget_s:
+        Optional wall-clock budget per chain; when set, the iteration
+        budget still caps the chain.
+    inits:
+        Initial candidates: any of ``"data_parallel"``, ``"expert"``,
+        ``"random"`` (Section 6.2 uses data parallelism plus a random
+        strategy by default, as do we).
+    algorithm:
+        ``"delta"`` (Algorithm 2) or ``"full"`` (Algorithm 1) simulation
+        inside the chain.
+    """
+    profiler = profiler or OpProfiler()
+    space = ConfigSpace(graph, topology)
+    rng = np.random.default_rng(seed)
+
+    candidates: dict[str, Strategy] = {}
+    for kind in inits:
+        if kind == "data_parallel":
+            candidates["data_parallel"] = data_parallelism(graph, topology)
+        elif kind == "expert":
+            candidates["expert"] = expert_strategy(graph, topology)
+        elif kind == "random":
+            candidates["random"] = space.random_strategy(rng)
+        else:
+            raise ValueError(f"unknown init {kind!r}")
+
+    best_strategy: Strategy | None = None
+    best_cost = float("inf")
+    traces: dict[str, SearchTrace] = {}
+    init_costs: dict[str, float] = {}
+    simulations = 0
+    t0 = time.perf_counter()
+
+    for chain_idx, (name, init) in enumerate(candidates.items()):
+        sim = Simulator(graph, topology, init, profiler, training=training, algorithm=algorithm)
+        init_costs[name] = sim.cost
+        cfg = MCMCConfig(
+            beta_scale=beta_scale,
+            iterations=budget_iters,
+            time_budget_s=time_budget_s,
+            seed=seed + 1000 * chain_idx,
+        )
+        strategy, cost, trace = mcmc_search(sim, space, cfg)
+        traces[name] = trace
+        simulations += trace.proposed * 2 - trace.accepted  # rejected proposals sim twice
+        if cost < best_cost:
+            best_cost = cost
+            best_strategy = strategy
+
+    assert best_strategy is not None, "optimize() requires at least one init"
+    wall = time.perf_counter() - t0
+    metrics = simulate_strategy(graph, topology, best_strategy, profiler, training=training)
+    return OptimizeResult(
+        best_strategy=best_strategy,
+        best_cost_us=best_cost,
+        metrics=metrics,
+        traces=traces,
+        init_costs=init_costs,
+        wall_time_s=wall,
+        simulations=simulations,
+    )

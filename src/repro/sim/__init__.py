@@ -1,0 +1,22 @@
+"""Execution simulator (paper Section 5): task graphs, full & delta algorithms."""
+
+from repro.sim.delta_sim import DeltaStats, delta_simulate
+from repro.sim.full_sim import Timeline, full_simulate
+from repro.sim.metrics import IterationMetrics, compute_metrics, throughput_samples_per_sec
+from repro.sim.simulator import Simulator, simulate_strategy
+from repro.sim.taskgraph import Task, TaskGraph, TaskKind
+
+__all__ = [
+    "DeltaStats",
+    "delta_simulate",
+    "Timeline",
+    "full_simulate",
+    "IterationMetrics",
+    "compute_metrics",
+    "throughput_samples_per_sec",
+    "Simulator",
+    "simulate_strategy",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+]

@@ -1,0 +1,82 @@
+"""Simulator facade: a task graph plus its live timeline.
+
+Bundles the pieces the execution optimizer needs: build once, then
+:meth:`Simulator.reconfigure` one operation at a time.  With
+``algorithm="delta"`` reconfiguration repairs the timeline incrementally
+(Algorithm 2); with ``algorithm="full"`` it re-simulates from scratch
+(Algorithm 1) after the same incremental task-graph update -- matching
+how the paper isolates the two simulation algorithms in Table 4 and
+Figure 12.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import OperatorGraph
+from repro.machine.topology import DeviceTopology
+from repro.profiler.profiler import OpProfiler
+from repro.sim.delta_sim import DeltaStats, delta_simulate
+from repro.sim.full_sim import Timeline, full_simulate
+from repro.sim.metrics import IterationMetrics, compute_metrics
+from repro.sim.taskgraph import TaskGraph
+from repro.soap.config import ParallelConfig
+from repro.soap.strategy import Strategy
+
+__all__ = ["Simulator", "simulate_strategy"]
+
+
+class Simulator:
+    """Live (task graph, timeline) pair under incremental reconfiguration."""
+
+    def __init__(
+        self,
+        graph: OperatorGraph,
+        topology: DeviceTopology,
+        strategy: Strategy,
+        profiler: OpProfiler | None = None,
+        training: bool = True,
+        algorithm: str = "delta",
+    ):
+        if algorithm not in ("delta", "full"):
+            raise ValueError(f"unknown simulation algorithm {algorithm!r}")
+        self.graph = graph
+        self.topology = topology
+        self.profiler = profiler or OpProfiler()
+        self.algorithm = algorithm
+        self.task_graph = TaskGraph(graph, topology, strategy, self.profiler, training=training)
+        self.timeline: Timeline = full_simulate(self.task_graph)
+        self.delta_stats = DeltaStats()
+
+    @property
+    def cost(self) -> float:
+        """Predicted per-iteration execution time in microseconds."""
+        return self.timeline.makespan
+
+    @property
+    def strategy(self) -> Strategy:
+        return self.task_graph.strategy
+
+    def reconfigure(self, op_id: int, cfg: ParallelConfig) -> float:
+        """Apply one configuration change; returns the new cost (us)."""
+        removed, dirty = self.task_graph.replace_config(op_id, cfg)
+        if self.algorithm == "delta":
+            delta_simulate(self.task_graph, self.timeline, removed, dirty, self.delta_stats)
+        else:
+            self.timeline = full_simulate(self.task_graph)
+        return self.timeline.makespan
+
+    def metrics(self) -> IterationMetrics:
+        return compute_metrics(self.task_graph, self.timeline)
+
+
+def simulate_strategy(
+    graph: OperatorGraph,
+    topology: DeviceTopology,
+    strategy: Strategy,
+    profiler: OpProfiler | None = None,
+    training: bool = True,
+) -> IterationMetrics:
+    """One-shot simulation: build, run Algorithm 1, collect metrics."""
+    profiler = profiler or OpProfiler()
+    tg = TaskGraph(graph, topology, strategy, profiler, training=training)
+    tl = full_simulate(tg)
+    return compute_metrics(tg, tl)

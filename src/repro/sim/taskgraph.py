@@ -1,0 +1,385 @@
+"""Task graph construction (Section 5.1 of the paper).
+
+Given an operator graph, a device topology, and a parallelization
+strategy, build the graph of *tasks*:
+
+1. every operation contributes one **normal task** per configuration
+   slot (and a mirrored **backward task** in training mode);
+2. for every tensor edge, producer/consumer task pairs with shared data
+   either get a direct dependency (same device) or a **communication
+   task** placed on the connection between their devices;
+3. every parameter shard replicated across devices gets a **ring
+   all-reduce** (modelled as one communication task per ring hop carrying
+   the standard ``2(k-1)/k`` traffic) followed by per-replica **update
+   tasks** -- this is what makes parameter-synchronization cost visible
+   to the search, reproducing Figure 8(b)'s transfer reductions.
+
+The task graph supports *incremental reconfiguration*
+(:meth:`TaskGraph.replace_config`): changing one operation's
+configuration splices out only that op's tasks, its adjacent
+communication tasks, and its parameter-sync tasks, which is the
+``UpdateTaskGraph`` step of the paper's delta simulation algorithm
+(Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.graph import Edge, OperatorGraph
+from repro.machine.topology import Connection, DeviceTopology
+from repro.profiler.profiler import OpProfiler
+from repro.soap.partition import overlapping_tasks
+from repro.soap.strategy import Strategy
+
+__all__ = ["TaskKind", "Task", "TaskGraph"]
+
+
+class TaskKind(enum.IntEnum):
+    NORMAL = 0  # forward or backward compute task
+    COMM = 1  # data transfer on a connection
+    UPDATE = 2  # SGD parameter update
+
+
+@dataclass(slots=True)
+class Task:
+    """One node of the task graph (Table 2's static properties).
+
+    ``device`` is a compute-device id for NORMAL/UPDATE tasks and a
+    connection id for COMM tasks; both live in one id space so the
+    simulator treats them uniformly (Section 5.1: "we treat each hardware
+    connection between devices as a communication device").
+    """
+
+    tid: int
+    kind: TaskKind
+    device: int
+    exe_time: float
+    op_id: int = -1
+    index: int = -1
+    backward: bool = False
+    nbytes: float = 0.0
+    conn: Connection | None = None
+    ins: list[int] = field(default_factory=list)
+    outs: list[int] = field(default_factory=list)
+
+
+class TaskGraph:
+    """Tasks + dependencies for (operator graph, topology, strategy)."""
+
+    def __init__(
+        self,
+        graph: OperatorGraph,
+        topology: DeviceTopology,
+        strategy: Strategy,
+        profiler: OpProfiler,
+        training: bool = True,
+    ):
+        self.graph = graph
+        self.topology = topology
+        self.strategy = strategy.copy()
+        self.profiler = profiler
+        self.training = training
+
+        self.tasks: dict[int, Task] = {}
+        self._next_tid = 0
+        # Bookkeeping for incremental splicing.  Parameter-sync tasks are
+        # keyed by weight-sharing *group*: ops sharing parameters (e.g.
+        # unrolled steps of one recurrent layer) synchronize gradients once
+        # per iteration, not once per op.
+        self.fwd: dict[int, list[int]] = {}
+        self.bwd: dict[int, list[int]] = {}
+        self.sync: dict[str, list[int]] = {}
+        self.edge_tasks: dict[tuple[int, int, int], list[int]] = {}
+
+        strategy.validate(graph, topology)
+        for oid in graph.op_ids:
+            self._make_op_tasks(oid)
+        for edge in graph.edges():
+            self._connect_edge(edge)
+        for gkey, members in graph.param_groups().items():
+            self._make_sync(gkey, members)
+
+    # -- small helpers -----------------------------------------------------
+    def _new_task(self, **kw) -> Task:
+        t = Task(tid=self._next_tid, **kw)
+        self._next_tid += 1
+        self.tasks[t.tid] = t
+        return t
+
+    def _link(self, a: int, b: int) -> None:
+        self.tasks[a].outs.append(b)
+        self.tasks[b].ins.append(a)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    # -- construction --------------------------------------------------------
+    def _make_op_tasks(self, oid: int) -> None:
+        """Create forward (and backward) compute tasks for one op."""
+        op = self.graph.op(oid)
+        cfg = self.strategy[oid]
+        fwd_ids: list[int] = []
+        bwd_ids: list[int] = []
+        make_bwd = self.training and not op.is_source
+        for k in range(cfg.num_tasks):
+            region = cfg.task_region(op, k)
+            dev = self.topology.device(cfg.devices[k])
+            f = self._new_task(
+                kind=TaskKind.NORMAL,
+                device=dev.did,
+                exe_time=self.profiler.task_time(op, region, dev),
+                op_id=oid,
+                index=k,
+            )
+            fwd_ids.append(f.tid)
+            if make_bwd:
+                b = self._new_task(
+                    kind=TaskKind.NORMAL,
+                    device=dev.did,
+                    exe_time=self.profiler.task_time(op, region, dev, backward=True),
+                    op_id=oid,
+                    index=k,
+                    backward=True,
+                )
+                bwd_ids.append(b.tid)
+                # Backward needs the forward activations of the same task.
+                self._link(f.tid, b.tid)
+        self.fwd[oid] = fwd_ids
+        self.bwd[oid] = bwd_ids
+
+    def _connect_edge(self, edge: Edge) -> list[int]:
+        """Wire producer/consumer task pairs of one tensor edge (step 2).
+
+        Returns the communication tasks created (tracked per edge so a
+        reconfiguration can splice them out).
+        """
+        src_op = self.graph.op(edge.src)
+        dst_op = self.graph.op(edge.dst)
+        src_cfg = self.strategy[edge.src]
+        dst_cfg = self.strategy[edge.dst]
+        dtype = src_op.out_shape.dtype_bytes
+        comm_ids: list[int] = []
+        src_fwd, dst_fwd = self.fwd[edge.src], self.fwd[edge.dst]
+        src_bwd, dst_bwd = self.bwd[edge.src], self.bwd[edge.dst]
+
+        for kj in range(dst_cfg.num_tasks):
+            need = dst_op.input_region(dst_cfg.task_region(dst_op, kj), edge.slot)
+            if need is None:
+                continue
+            dev_j = dst_cfg.devices[kj]
+            for ki, vol in overlapping_tasks(src_op, src_cfg, need):
+                dev_i = src_cfg.devices[ki]
+                nbytes = float(vol * dtype)
+                if dev_i == dev_j:
+                    self._link(src_fwd[ki], dst_fwd[kj])
+                    if src_bwd and dst_bwd:
+                        self._link(dst_bwd[kj], src_bwd[ki])
+                    continue
+                conn = self.topology.connection(dev_i, dev_j)
+                c = self._new_task(
+                    kind=TaskKind.COMM,
+                    device=conn.cid,
+                    exe_time=self.profiler.comm_time(nbytes, conn),
+                    nbytes=nbytes,
+                    conn=conn,
+                )
+                comm_ids.append(c.tid)
+                self._link(src_fwd[ki], c.tid)
+                self._link(c.tid, dst_fwd[kj])
+                if src_bwd and dst_bwd:
+                    # Gradient flows the reverse direction in backward.
+                    rconn = self.topology.connection(dev_j, dev_i)
+                    cb = self._new_task(
+                        kind=TaskKind.COMM,
+                        device=rconn.cid,
+                        exe_time=self.profiler.comm_time(nbytes, rconn),
+                        nbytes=nbytes,
+                        conn=rconn,
+                    )
+                    comm_ids.append(cb.tid)
+                    self._link(dst_bwd[kj], cb.tid)
+                    self._link(cb.tid, src_bwd[ki])
+        self.edge_tasks[(edge.src, edge.dst, edge.slot)] = comm_ids
+        return comm_ids
+
+    def _make_sync(self, gkey: str, members: tuple[int, ...]) -> None:
+        """Parameter synchronization + update tasks for one weight group.
+
+        Tasks sharing identical parameter-dimension coordinates hold
+        replicas of the same shard; a replica set spanning k devices
+        performs a ring all-reduce (modelled as one comm task per ring
+        hop carrying ``2(k-1)/k`` of the shard bytes), then every replica
+        device runs an update task.  For multi-op groups (weight-shared
+        unrolled steps) the gradients of *every* member feed one
+        all-reduce: parameters synchronize once per iteration.
+        """
+        self.sync[gkey] = []
+        if not self.training:
+            return
+        op0 = self.graph.op(members[0])
+        if not op0.params or any(not self.bwd[m] for m in members):
+            return
+        cfg = self.strategy[members[0]]  # group members share one config
+        pdims = {n for n, kind in op0.parallel_dims().items() if kind.name == "PARAMETER"}
+        deg_names = [n for n, _ in cfg.degrees]
+
+        replica_sets: dict[tuple[int, ...], list[int]] = {}
+        for k in range(cfg.num_tasks):
+            coords = cfg.task_coords(k)
+            key = tuple(c for n, c in zip(deg_names, coords) if n in pdims)
+            replica_sets.setdefault(key, []).append(k)
+
+        created: list[int] = []
+        dtype = op0.out_shape.dtype_bytes
+        for task_idxs in replica_sets.values():
+            shard_elems = op0.param_shard_volume(cfg.task_region(op0, task_idxs[0]))
+            if shard_elems == 0:
+                continue
+            devs = sorted({cfg.devices[k] for k in task_idxs})
+            grads = [self.bwd[m][k] for m in members for k in task_idxs]
+            if len(devs) == 1:
+                upd = self._new_task(
+                    kind=TaskKind.UPDATE,
+                    device=devs[0],
+                    exe_time=self.profiler.update_time(shard_elems, self.topology.device(devs[0])),
+                    op_id=members[0],
+                )
+                created.append(upd.tid)
+                for g in grads:
+                    self._link(g, upd.tid)
+                continue
+            k_g = len(devs)
+            hop_bytes = 2.0 * (k_g - 1) / k_g * shard_elems * dtype
+            ring_comm: list[int] = []
+            for i, d in enumerate(devs):
+                nxt = devs[(i + 1) % k_g]
+                conn = self.topology.connection(d, nxt)
+                c = self._new_task(
+                    kind=TaskKind.COMM,
+                    device=conn.cid,
+                    exe_time=self.profiler.comm_time(hop_bytes, conn),
+                    nbytes=hop_bytes,
+                    conn=conn,
+                    op_id=members[0],
+                )
+                ring_comm.append(c.tid)
+                created.append(c.tid)
+                for g in grads:
+                    self._link(g, c.tid)
+            for d in devs:
+                upd = self._new_task(
+                    kind=TaskKind.UPDATE,
+                    device=d,
+                    exe_time=self.profiler.update_time(shard_elems, self.topology.device(d)),
+                    op_id=members[0],
+                )
+                created.append(upd.tid)
+                for c in ring_comm:
+                    self._link(c, upd.tid)
+        self.sync[gkey] = created
+
+    # -- incremental reconfiguration -----------------------------------------------
+    def replace_config(self, op_id: int, new_cfg) -> tuple[dict[int, int], set[int]]:
+        """Splice the configuration of ``op_id``'s weight-sharing group.
+
+        Applies ``new_cfg`` to every op sharing ``op_id``'s parameters
+        (a single op for unshared weights): removes the members'
+        forward/backward tasks, the group's parameter-sync tasks, and the
+        communication tasks on every adjacent tensor edge, then rebuilds
+        them against the (unchanged) neighbor configurations.  This is
+        ``UpdateTaskGraph`` from Algorithm 2.
+
+        Returns
+        -------
+        (removed, dirty):
+            ``removed`` -- mapping of removed task id -> the device it
+            occupied (needed to detach timeline entries);
+            ``dirty`` -- ids of new tasks plus surviving tasks whose
+            predecessor sets changed (the seeds for delta simulation).
+        """
+        members = self.graph.group_members(op_id)
+        member_set = set(members)
+        gkey = self.graph.group_key(op_id)
+
+        # Sync groups of *neighboring* weight-shared ops are untouched:
+        # their gradients' producers keep their task ids.
+        touched_edges: list[Edge] = []
+        seen_edges: set[tuple[int, int, int]] = set()
+        for m in members:
+            for slot, src in enumerate(self.graph.inputs_of(m)):
+                key = (src, m, slot)
+                if key not in seen_edges:
+                    seen_edges.add(key)
+                    touched_edges.append(Edge(*key))
+            for e in self.graph.consumers_of(m):
+                key = (e.src, e.dst, e.slot)
+                if key not in seen_edges:
+                    seen_edges.add(key)
+                    touched_edges.append(e)
+
+        removed_ids: set[int] = set(self.sync[gkey])
+        for m in members:
+            removed_ids.update(self.fwd[m])
+            removed_ids.update(self.bwd[m])
+        for e in touched_edges:
+            removed_ids.update(self.edge_tasks.get((e.src, e.dst, e.slot), ()))
+
+        removed: dict[int, int] = {tid: self.tasks[tid].device for tid in removed_ids}
+        dirty: set[int] = set()
+        for tid in removed_ids:
+            t = self.tasks[tid]
+            for p in t.ins:
+                if p not in removed_ids:
+                    self.tasks[p].outs.remove(tid)
+            for s in t.outs:
+                if s not in removed_ids:
+                    self.tasks[s].ins.remove(tid)
+                    dirty.add(s)  # lost a predecessor: ready time may drop
+        for tid in removed_ids:
+            del self.tasks[tid]
+
+        for m in members:
+            self.strategy = self.strategy.with_config(m, new_cfg)
+            self._make_op_tasks(m)
+            dirty.update(self.fwd[m])
+            dirty.update(self.bwd[m])
+        for e in touched_edges:
+            comm = self._connect_edge(e)
+            dirty.update(comm)
+            # Surviving neighbor tasks that gained predecessors: consumers'
+            # forward tasks (fed by our new fwd/comm tasks) and producers'
+            # backward tasks (fed by our new bwd/comm tasks).
+            if e.src in member_set and e.dst not in member_set:
+                dirty.update(self.fwd[e.dst])
+            elif e.dst in member_set and e.src not in member_set:
+                dirty.update(self.bwd[e.src])
+        self._make_sync(gkey, members)
+        dirty.update(self.sync[gkey])
+        dirty -= removed.keys()
+        return removed, dirty
+
+    # -- aggregate views ----------------------------------------------------------
+    def comm_tasks(self) -> list[Task]:
+        return [t for t in self.tasks.values() if t.kind == TaskKind.COMM]
+
+    def total_comm_bytes(self) -> float:
+        return sum(t.nbytes for t in self.tasks.values() if t.kind == TaskKind.COMM)
+
+    def total_compute_us(self) -> float:
+        return sum(
+            t.exe_time for t in self.tasks.values() if t.kind in (TaskKind.NORMAL, TaskKind.UPDATE)
+        )
+
+    def describe(self) -> str:
+        kinds = {k: 0 for k in TaskKind}
+        for t in self.tasks.values():
+            kinds[t.kind] += 1
+        return (
+            f"TaskGraph: {self.num_tasks} tasks "
+            f"(normal={kinds[TaskKind.NORMAL]}, comm={kinds[TaskKind.COMM]}, "
+            f"update={kinds[TaskKind.UPDATE]}), "
+            f"comm={self.total_comm_bytes() / 1e6:.1f} MB"
+        )

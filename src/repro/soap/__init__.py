@@ -1,0 +1,30 @@
+"""The SOAP search space (paper Section 4)."""
+
+from repro.soap.config import ParallelConfig, largest_dividing_degree
+from repro.soap.partition import check_coverage, overlapping_tasks
+from repro.soap.presets import (
+    data_parallelism,
+    expert_cnn,
+    expert_rnn,
+    expert_strategy,
+    model_parallelism,
+    single_device,
+)
+from repro.soap.space import ConfigSpace, divisors
+from repro.soap.strategy import Strategy
+
+__all__ = [
+    "ParallelConfig",
+    "largest_dividing_degree",
+    "check_coverage",
+    "overlapping_tasks",
+    "data_parallelism",
+    "expert_cnn",
+    "expert_rnn",
+    "expert_strategy",
+    "model_parallelism",
+    "single_device",
+    "ConfigSpace",
+    "divisors",
+    "Strategy",
+]

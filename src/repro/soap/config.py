@@ -1,0 +1,155 @@
+"""Parallelization configurations (Section 4 of the paper).
+
+A :class:`ParallelConfig` for an operation chooses a degree of parallelism
+for each parallelizable dimension of the op's output tensor plus a device
+for each resulting task.  Partitions are equal-size in every dimension
+("We use equal size partitions in each dimension to guarantee
+well-balanced workload distributions"), so each degree must divide its
+dimension's extent.
+
+Tasks are enumerated row-major over the degree vector in output-dimension
+order; :meth:`ParallelConfig.task_region` maps a task index to the output
+sub-tensor it produces (cf. Figure 4's 2x2 matmul example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.dims import Region
+from repro.ir.ops import Operation
+
+__all__ = ["ParallelConfig", "largest_dividing_degree"]
+
+
+def largest_dividing_degree(size: int, cap: int) -> int:
+    """The largest divisor of ``size`` that is at most ``cap``."""
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    for d in range(min(size, cap), 0, -1):
+        if size % d == 0:
+            return d
+    return 1
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How one operation is split into tasks and placed on devices.
+
+    Parameters
+    ----------
+    degrees:
+        ``(dim_name, degree)`` pairs in output-dimension order.  Only
+        parallelizable dims may appear; omitted dims implicitly have
+        degree 1.  Every degree must divide the dim's extent.
+    devices:
+        Device id per task; ``len(devices)`` equals the product of the
+        degrees.  Task *k*'s multi-dimensional coordinates are the
+        row-major unraveling of *k* over the degree vector.
+    """
+
+    degrees: tuple[tuple[str, int], ...]
+    devices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = 1
+        for name, deg in self.degrees:
+            if deg < 1:
+                raise ValueError(f"degree for {name!r} must be >= 1, got {deg}")
+            n *= deg
+        if len(self.devices) != n:
+            raise ValueError(
+                f"config has {n} tasks but {len(self.devices)} device assignments"
+            )
+
+    # -- shape ------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.devices)
+
+    def degree_of(self, dim_name: str) -> int:
+        for name, deg in self.degrees:
+            if name == dim_name:
+                return deg
+        return 1
+
+    @property
+    def degree_vector(self) -> tuple[int, ...]:
+        return tuple(d for _, d in self.degrees)
+
+    def task_coords(self, k: int) -> tuple[int, ...]:
+        """Row-major unraveling of task index ``k`` over the degree vector."""
+        coords = []
+        for _, deg in reversed(self.degrees):
+            coords.append(k % deg)
+            k //= deg
+        return tuple(reversed(coords))
+
+    def coords_to_index(self, coords: tuple[int, ...]) -> int:
+        k = 0
+        for (_, deg), c in zip(self.degrees, coords):
+            k = k * deg + c
+        return k
+
+    # -- validation -----------------------------------------------------------
+    def validate(self, op: Operation, num_devices: int | None = None) -> None:
+        """Check this config is legal for ``op`` (Section 4 constraints)."""
+        pdims = op.parallel_dims()
+        shape = op.out_shape
+        for name, deg in self.degrees:
+            if name not in pdims:
+                raise ValueError(f"{op.name}: dim {name!r} is not parallelizable")
+            size = shape.size(name)
+            if size % deg != 0:
+                raise ValueError(
+                    f"{op.name}: degree {deg} does not divide {name!r} extent {size}"
+                )
+        if num_devices is not None:
+            for d in self.devices:
+                if not (0 <= d < num_devices):
+                    raise ValueError(f"{op.name}: device id {d} out of range [0, {num_devices})")
+
+    # -- regions ----------------------------------------------------------------
+    def task_region(self, op: Operation, k: int) -> Region:
+        """Output region produced by task ``k`` (covers all output dims)."""
+        coords = dict(zip((n for n, _ in self.degrees), self.task_coords(k)))
+        degs = dict(self.degrees)
+        ranges = []
+        for d in op.out_shape.dims:
+            deg = degs.get(d.name, 1)
+            c = coords.get(d.name, 0)
+            chunk = d.size // deg
+            ranges.append((d.name, c * chunk, (c + 1) * chunk))
+        return Region(tuple(ranges))
+
+    def task_regions(self, op: Operation) -> list[Region]:
+        """Output regions of all tasks, in task-index order."""
+        return [self.task_region(op, k) for k in range(self.num_tasks)]
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def single(cls, device: int) -> "ParallelConfig":
+        """The trivial config: one task on one device (model parallelism)."""
+        return cls(degrees=(), devices=(device,))
+
+    @classmethod
+    def data_parallel(cls, op: Operation, devices: tuple[int, ...]) -> "ParallelConfig":
+        """Sample-dimension split across ``devices`` (degree = len(devices)).
+
+        Falls back to the largest dividing degree when the batch does not
+        divide evenly, using a prefix of ``devices``.
+        """
+        batch = op.out_shape.size("sample")
+        deg = largest_dividing_degree(batch, len(devices))
+        return cls(degrees=(("sample", deg),), devices=tuple(devices[:deg]))
+
+    @classmethod
+    def param_parallel(cls, op: Operation, dim: str, devices: tuple[int, ...]) -> "ParallelConfig":
+        """Split along a single (usually parameter) dimension across devices."""
+        size = op.out_shape.size(dim)
+        deg = largest_dividing_degree(size, len(devices))
+        return cls(degrees=((dim, deg),), devices=tuple(devices[:deg]))
+
+    def describe(self) -> str:
+        degs = ", ".join(f"{n}={d}" for n, d in self.degrees if d > 1) or "replica=1"
+        return f"[{degs}] on {list(self.devices)}"

@@ -1,0 +1,107 @@
+"""Partition geometry: mapping regions to the tasks that produce them.
+
+Task-graph construction (Section 5.1, step 2) must find, for every
+consumer task, the producer tasks whose output sub-tensors overlap the
+consumer's input sub-tensor.  Because configurations produce *regular
+grids* of equal-size chunks, the overlapping producer tasks can be
+computed directly from range arithmetic instead of scanning all
+``|c_i| x |c_j|`` pairs -- this keeps task-graph construction fast enough
+for the MCMC inner loop on 64-device strategies.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.ir.dims import Region
+from repro.ir.ops import Operation
+from repro.soap.config import ParallelConfig
+
+__all__ = ["overlapping_tasks", "check_coverage"]
+
+
+def overlapping_tasks(
+    producer: Operation, cfg: ParallelConfig, region: Region
+) -> list[tuple[int, int]]:
+    """Producer tasks whose output overlaps ``region``.
+
+    Parameters
+    ----------
+    producer:
+        The producing operation (its output tensor carries the regions).
+    cfg:
+        The producer's parallelization configuration.
+    region:
+        A region over the producer's *output* shape (typically a consumer
+        task's required input sub-tensor).
+
+    Returns
+    -------
+    list of ``(task_index, overlap_volume)`` pairs with positive volume,
+    in row-major task order.
+    """
+    if region.is_empty:
+        return []
+    shape = producer.out_shape
+    region_ranges = {n: (lo, hi) for n, lo, hi in region.ranges}
+
+    # For each partitioned dim (in cfg.degrees order): the chunk indices
+    # intersecting the region and the overlap extent within each chunk.
+    choices_per_dim: list[list[tuple[int, int]]] = []
+    for name, deg in cfg.degrees:
+        size = shape.size(name)
+        lo, hi = region_ranges.get(name, (0, size))
+        lo, hi = max(0, lo), min(size, hi)
+        if hi <= lo:
+            return []
+        chunk = size // deg
+        first, last = lo // chunk, (hi - 1) // chunk
+        choices_per_dim.append(
+            [(c, min(hi, (c + 1) * chunk) - max(lo, c * chunk)) for c in range(first, last + 1)]
+        )
+
+    # Region volume over the dims this config does not partition.
+    partitioned = {n for n, _ in cfg.degrees}
+    base_volume = 1
+    for d in shape.dims:
+        if d.name in partitioned:
+            continue
+        lo, hi = region_ranges.get(d.name, (0, d.size))
+        lo, hi = max(0, lo), min(d.size, hi)
+        if hi <= lo:
+            return []
+        base_volume *= hi - lo
+
+    if not choices_per_dim:
+        return [(0, base_volume)]
+
+    out: list[tuple[int, int]] = []
+    for combo in product(*choices_per_dim):
+        coords = tuple(c for c, _ in combo)
+        vol = base_volume
+        for _, ext in combo:
+            vol *= ext
+        out.append((cfg.coords_to_index(coords), vol))
+    return out
+
+
+def check_coverage(op: Operation, cfg: ParallelConfig) -> None:
+    """Assert the config's task regions tile the output tensor exactly.
+
+    Raises ``AssertionError`` when regions overlap or leave gaps; used by
+    validation paths and property tests (DESIGN.md decision 3).
+    """
+    regions = cfg.task_regions(op)
+    total = sum(r.volume for r in regions)
+    expected = op.out_shape.volume
+    if total != expected:
+        raise AssertionError(
+            f"{op.name}: task regions cover {total} elements, tensor has {expected}"
+        )
+    for i in range(len(regions)):
+        for j in range(i + 1, len(regions)):
+            if regions[i].intersect(regions[j]) is not None:
+                raise AssertionError(
+                    f"{op.name}: task regions {i} and {j} overlap: "
+                    f"{regions[i]!r} vs {regions[j]!r}"
+                )

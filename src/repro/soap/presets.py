@@ -1,0 +1,160 @@
+"""Preset parallelization strategies: the paper's baselines.
+
+* :func:`data_parallelism` -- every op split along the sample dimension
+  across all devices (the default of TensorFlow/PyTorch/Caffe2).
+* :func:`model_parallelism` -- ops assigned whole to devices, contiguous
+  blocks balanced by FLOPs.
+* :func:`expert_cnn` -- "one weird trick" [Krizhevsky 2014]: data
+  parallelism for convolution/pooling, model (parameter) parallelism for
+  densely-connected layers.
+* :func:`expert_rnn` -- the GNMT recipe [Wu et al. 2016]: data parallelism
+  across compute nodes, and within each node operations of the same layer
+  depth pinned to the same GPU.
+* :func:`expert_strategy` -- dispatches between the two based on whether
+  the graph contains recurrent cells.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dims import DimKind
+from repro.ir.graph import OperatorGraph
+from repro.ir.op_dense import MatMul, Softmax
+from repro.ir.op_rnn import Attention, LSTMCell
+from repro.ir.op_dense import Embedding
+from repro.machine.topology import DeviceTopology
+from repro.soap.config import ParallelConfig, largest_dividing_degree
+from repro.soap.strategy import Strategy
+
+__all__ = [
+    "data_parallelism",
+    "model_parallelism",
+    "expert_cnn",
+    "expert_rnn",
+    "expert_strategy",
+    "single_device",
+]
+
+
+def data_parallelism(graph: OperatorGraph, topology: DeviceTopology) -> Strategy:
+    """Sample-dimension parallelism across every device, for every op."""
+    devices = tuple(range(topology.num_devices))
+    return Strategy({oid: ParallelConfig.data_parallel(graph.op(oid), devices) for oid in graph.op_ids})
+
+
+def single_device(graph: OperatorGraph, device: int = 0) -> Strategy:
+    """Everything on one device (the 1-GPU reference point of Figure 7)."""
+    return Strategy({oid: ParallelConfig.single(device) for oid in graph.op_ids})
+
+
+def model_parallelism(graph: OperatorGraph, topology: DeviceTopology) -> Strategy:
+    """Whole-op placement: contiguous topo-order blocks balanced by FLOPs.
+
+    Model parallelism "assigns disjoint subsets of a neural network each
+    to a dedicated device" (Section 1); balancing blocks by forward FLOPs
+    is the standard way to pick the subsets.  Weight-sharing groups (all
+    unrolled steps of a layer) stay on one device so their parameters
+    live in one place.
+    """
+    d = topology.num_devices
+    groups = graph.param_groups()
+    # Order groups by their first member's topological position.
+    ordered = sorted(groups.items(), key=lambda kv: kv[1][0])
+
+    def group_flops(members: tuple[int, ...]) -> float:
+        return sum(
+            graph.op(m).flops_for(graph.op(m).out_shape.full_region()) for m in members
+        )
+
+    total = sum(group_flops(m) for _, m in ordered)
+    configs: dict[int, ParallelConfig] = {}
+    acc = 0.0
+    for _, members in ordered:
+        flops = group_flops(members)
+        mid = acc + flops / 2.0
+        dev = min(d - 1, int(d * mid / total)) if total > 0 else 0
+        acc += flops
+        for m in members:
+            configs[m] = ParallelConfig.single(dev)
+    return Strategy(configs)
+
+
+def _is_dense_layer(op) -> bool:
+    """FC-style layers that OWT switches to model parallelism for."""
+    return isinstance(op, MatMul) and op.seq_len is None
+
+
+def expert_cnn(graph: OperatorGraph, topology: DeviceTopology) -> Strategy:
+    """"One weird trick": data-parallel conv/pool, parameter-parallel FC.
+
+    Dense layers are split along their (parameter) channel dimension
+    across all devices, so each device holds a weight slice and no FC
+    parameter synchronization is needed -- exactly the [27] recipe the
+    paper uses as the CNN expert baseline.
+    """
+    devices = tuple(range(topology.num_devices))
+    configs: dict[int, ParallelConfig] = {}
+    for oid in graph.op_ids:
+        op = graph.op(oid)
+        if _is_dense_layer(op):
+            configs[oid] = ParallelConfig.param_parallel(op, "channel", devices)
+        elif isinstance(op, Softmax) and op.seq_len is None:
+            # The classifier softmax is tiny; keep it with the data flow.
+            configs[oid] = ParallelConfig.data_parallel(op, devices)
+        else:
+            configs[oid] = ParallelConfig.data_parallel(op, devices)
+    return Strategy(configs)
+
+
+def _layer_levels(graph: OperatorGraph) -> dict[int, int]:
+    """Layer index per op: how many "weight-bearing" layers precede it.
+
+    All unrolled steps of a recurrent layer share one weight group, so
+    computing levels per *group* keeps a layer at a single level across
+    steps -- matching [42]'s "assign operations with the same depth to
+    the same GPU" -- while stacked layers (new groups) increment it.
+    """
+    layer_types = (Embedding, LSTMCell, MatMul, Attention)
+    group_level: dict[str, int] = {}
+    for oid in graph.topo_order():
+        op = graph.op(oid)
+        gkey = graph.group_key(oid)
+        base = -1
+        for p in graph.inputs_of(oid):
+            pkey = graph.group_key(p)
+            if pkey != gkey:
+                base = max(base, group_level.get(pkey, 0))
+        own = 1 if isinstance(op, layer_types) else 0
+        level = max(0, base + own)
+        group_level[gkey] = max(group_level.get(gkey, 0), level)
+    return {oid: group_level[graph.group_key(oid)] for oid in graph.op_ids}
+
+
+def expert_rnn(graph: OperatorGraph, topology: DeviceTopology) -> Strategy:
+    """GNMT recipe: data parallel across nodes, layer-per-GPU within a node."""
+    nodes: dict[int, list[int]] = {}
+    for dev in topology.devices:
+        nodes.setdefault(dev.node, []).append(dev.did)
+    node_ids = sorted(nodes)
+    num_nodes = len(node_ids)
+    levels = _layer_levels(graph)
+    configs: dict[int, ParallelConfig] = {}
+    for oid in graph.op_ids:
+        op = graph.op(oid)
+        batch = op.out_shape.size("sample")
+        deg = largest_dividing_degree(batch, num_nodes)
+        level = levels[oid]
+        devices = []
+        for node in node_ids[:deg]:
+            gpus = nodes[node]
+            devices.append(gpus[level % len(gpus)])
+        degrees = (("sample", deg),) if deg > 1 else ()
+        configs[oid] = ParallelConfig(degrees=degrees, devices=tuple(devices))
+    return Strategy(configs)
+
+
+def expert_strategy(graph: OperatorGraph, topology: DeviceTopology) -> Strategy:
+    """The paper's expert baseline: [27] for CNNs, [42] for RNNs."""
+    has_recurrence = any(isinstance(graph.op(oid), LSTMCell) for oid in graph.op_ids)
+    if has_recurrence:
+        return expert_rnn(graph, topology)
+    return expert_cnn(graph, topology)

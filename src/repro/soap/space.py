@@ -1,0 +1,167 @@
+"""The SOAP configuration space: enumeration and random sampling.
+
+For an operation, the candidate configurations are all degree vectors over
+its parallelizable output dimensions such that (a) each degree divides the
+dimension extent (equal-size partitions) and (b) the total number of tasks
+does not exceed the device count, combined with an assignment of tasks to
+distinct devices.  The MCMC proposal distribution (Section 6.2) draws a
+configuration for one operation uniformly at random from this space.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+from typing import Iterator
+
+import numpy as np
+
+from repro.ir.graph import OperatorGraph
+from repro.ir.ops import Operation
+from repro.machine.topology import DeviceTopology
+from repro.soap.config import ParallelConfig
+from repro.soap.strategy import Strategy
+
+__all__ = ["ConfigSpace", "divisors"]
+
+
+@lru_cache(maxsize=4096)
+def divisors(n: int) -> tuple[int, ...]:
+    """All positive divisors of ``n`` in increasing order."""
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return tuple(small + large[::-1])
+
+
+class ConfigSpace:
+    """All legal :class:`ParallelConfig` choices for each op of a graph.
+
+    Parameters
+    ----------
+    graph, topology:
+        The application and machine the space is defined over.
+    max_tasks_per_op:
+        Upper bound on tasks per operation; defaults to the device count
+        (so every task can land on its own device).
+    contiguous_bias:
+        Probability that a random device assignment uses a contiguous
+        block of device ids instead of an unstructured sample.  Block
+        assignments respect machine locality and speed up search
+        convergence without shrinking the support of the proposal
+        distribution (any assignment still has positive probability).
+    """
+
+    def __init__(
+        self,
+        graph: OperatorGraph,
+        topology: DeviceTopology,
+        max_tasks_per_op: int | None = None,
+        contiguous_bias: float = 0.5,
+    ):
+        self.graph = graph
+        self.topology = topology
+        self.max_tasks = max_tasks_per_op or topology.num_devices
+        self.contiguous_bias = contiguous_bias
+        self._degree_cache: dict[int, list[tuple[tuple[str, int], ...]]] = {}
+
+    # -- degree vectors ------------------------------------------------------
+    def degree_vectors(self, op_id: int) -> list[tuple[tuple[str, int], ...]]:
+        """All legal degree vectors for an op (degree-1 dims omitted)."""
+        cached = self._degree_cache.get(op_id)
+        if cached is not None:
+            return cached
+        op = self.graph.op(op_id)
+        pdims = op.parallel_dims()
+        # Iterate in output-dimension order for determinism.
+        names = [d.name for d in op.out_shape.dims if d.name in pdims]
+        out: list[tuple[tuple[str, int], ...]] = []
+
+        def rec(idx: int, budget: int, acc: list[tuple[str, int]]) -> None:
+            if idx == len(names):
+                out.append(tuple(acc))
+                return
+            name = names[idx]
+            for deg in divisors(op.out_shape.size(name)):
+                if deg > budget:
+                    break
+                if deg > 1:
+                    acc.append((name, deg))
+                rec(idx + 1, budget // deg, acc)
+                if deg > 1:
+                    acc.pop()
+
+        rec(0, self.max_tasks, [])
+        self._degree_cache[op_id] = out
+        return out
+
+    @staticmethod
+    def _num_tasks(degrees: tuple[tuple[str, int], ...]) -> int:
+        n = 1
+        for _, d in degrees:
+            n *= d
+        return n
+
+    def config_count(self, op_id: int) -> int:
+        """Number of legal configs for one op (degree vectors x placements)."""
+        d = self.topology.num_devices
+        total = 0
+        for degs in self.degree_vectors(op_id):
+            n = self._num_tasks(degs)
+            perms = 1
+            for i in range(n):
+                perms *= d - i
+            total += perms
+        return total
+
+    def strategy_space_size(self) -> float:
+        """Total strategies for the whole graph (product over ops; float
+        because it overflows int printing for real models)."""
+        size = 1.0
+        for oid in self.graph.op_ids:
+            size *= self.config_count(oid)
+        return size
+
+    # -- sampling -------------------------------------------------------------
+    def random_assignment(self, num_tasks: int, rng: np.random.Generator) -> tuple[int, ...]:
+        """Random distinct devices for ``num_tasks`` tasks."""
+        d = self.topology.num_devices
+        if num_tasks > d:
+            raise ValueError(f"cannot place {num_tasks} tasks on {d} devices distinctly")
+        if rng.random() < self.contiguous_bias:
+            start = int(rng.integers(0, d))
+            return tuple((start + i) % d for i in range(num_tasks))
+        return tuple(int(x) for x in rng.choice(d, size=num_tasks, replace=False))
+
+    def random_config(self, op_id: int, rng: np.random.Generator) -> ParallelConfig:
+        """Uniform degree vector + random distinct-device placement."""
+        vectors = self.degree_vectors(op_id)
+        degs = vectors[int(rng.integers(0, len(vectors)))]
+        return ParallelConfig(degrees=degs, devices=self.random_assignment(self._num_tasks(degs), rng))
+
+    def random_strategy(self, rng: np.random.Generator) -> Strategy:
+        """One random config per weight-sharing group (members tied)."""
+        configs: dict[int, ParallelConfig] = {}
+        for _, members in self.graph.param_groups().items():
+            cfg = self.random_config(members[0], rng)
+            for m in members:
+                configs[m] = cfg
+        return Strategy(configs)
+
+    # -- exhaustive enumeration ------------------------------------------------
+    def all_configs(self, op_id: int) -> Iterator[ParallelConfig]:
+        """Every legal config (use only for tiny spaces, Section 8.4)."""
+        d = self.topology.num_devices
+        for degs in self.degree_vectors(op_id):
+            n = self._num_tasks(degs)
+            for devices in permutations(range(d), n):
+                yield ParallelConfig(degrees=degs, devices=devices)
+
+    # -- helpers -----------------------------------------------------------------
+    def op(self, op_id: int) -> Operation:
+        return self.graph.op(op_id)

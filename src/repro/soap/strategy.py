@@ -1,0 +1,129 @@
+"""Parallelization strategies: one configuration per operation (Section 4).
+
+"A parallelization strategy S describes one possible parallelization of an
+application.  S includes a parallelization configuration c_i for each
+operation o_i, and each o_i's configuration can be chosen independently
+from among all possible configurations for o_i."
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Mapping
+
+from repro.ir.graph import OperatorGraph
+from repro.machine.topology import DeviceTopology
+from repro.soap.config import ParallelConfig
+
+__all__ = ["Strategy"]
+
+
+class Strategy:
+    """An immutable-by-convention mapping from op id to :class:`ParallelConfig`.
+
+    Mutation happens through :meth:`with_config`, which returns a shallow
+    copy -- the MCMC search keeps many closely-related strategies alive at
+    once, and configs themselves are frozen dataclasses.
+    """
+
+    __slots__ = ("_configs",)
+
+    def __init__(self, configs: Mapping[int, ParallelConfig]):
+        self._configs = dict(configs)
+
+    def __getitem__(self, op_id: int) -> ParallelConfig:
+        return self._configs[op_id]
+
+    def __contains__(self, op_id: int) -> bool:
+        return op_id in self._configs
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._configs)
+
+    def items(self) -> Iterator[tuple[int, ParallelConfig]]:
+        return iter(self._configs.items())
+
+    def with_config(self, op_id: int, cfg: ParallelConfig) -> "Strategy":
+        """A copy of this strategy with one op's configuration replaced."""
+        if op_id not in self._configs:
+            raise KeyError(f"op id {op_id} not in strategy")
+        new = dict(self._configs)
+        new[op_id] = cfg
+        return Strategy(new)
+
+    def copy(self) -> "Strategy":
+        return Strategy(self._configs)
+
+    # -- validation ----------------------------------------------------------
+    def validate(self, graph: OperatorGraph, topology: DeviceTopology) -> None:
+        """Check completeness, per-op legality, and weight-group consistency.
+
+        Ops sharing parameters (same ``param_group``) must use identical
+        configurations so that parameter shards line up across the
+        unrolled steps (see DESIGN.md and Figure 14's per-layer configs).
+        """
+        for oid in graph.op_ids:
+            if oid not in self._configs:
+                raise ValueError(f"strategy missing config for op {graph.op(oid).name!r}")
+            self._configs[oid].validate(graph.op(oid), topology.num_devices)
+        for gkey, members in graph.param_groups().items():
+            if len(members) < 2:
+                continue
+            first = self._configs[members[0]]
+            for m in members[1:]:
+                c = self._configs[m]
+                if c.degrees != first.degrees or c.devices != first.devices:
+                    raise ValueError(
+                        f"weight group {gkey!r}: ops {graph.op(members[0]).name!r} and "
+                        f"{graph.op(m).name!r} have different configurations"
+                    )
+
+    # -- statistics ---------------------------------------------------------------
+    def total_tasks(self) -> int:
+        return sum(c.num_tasks for c in self._configs.values())
+
+    def devices_used(self) -> set[int]:
+        used: set[int] = set()
+        for c in self._configs.values():
+            used.update(c.devices)
+        return used
+
+    def signature(self) -> tuple:
+        """Hashable identity for deduplication in search histories."""
+        return tuple(sorted((oid, c.degrees, c.devices) for oid, c in self._configs.items()))
+
+    # -- serialization -------------------------------------------------------------
+    def to_json(self, graph: OperatorGraph) -> str:
+        """Serialize keyed by op *name* so strategies survive graph rebuilds."""
+        payload = {
+            graph.op(oid).name: {"degrees": list(map(list, c.degrees)), "devices": list(c.devices)}
+            for oid, c in self._configs.items()
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str, graph: OperatorGraph) -> "Strategy":
+        payload = json.loads(text)
+        configs = {}
+        for name, body in payload.items():
+            oid = graph.id_of(name)
+            configs[oid] = ParallelConfig(
+                degrees=tuple((str(n), int(d)) for n, d in body["degrees"]),
+                devices=tuple(int(d) for d in body["devices"]),
+            )
+        return cls(configs)
+
+    def describe(self, graph: OperatorGraph, max_ops: int | None = None) -> str:
+        lines = [f"Strategy over {len(self)} ops, {self.total_tasks()} tasks"]
+        for i, (oid, cfg) in enumerate(sorted(self._configs.items())):
+            if max_ops is not None and i >= max_ops:
+                lines.append(f"  ... ({len(self) - max_ops} more)")
+                break
+            lines.append(f"  {graph.op(oid).name:<28} {cfg.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Strategy(ops={len(self)}, tasks={self.total_tasks()})"

@@ -1,0 +1,12 @@
+"""ASCII visualization of strategies and timelines (Figures 13-14)."""
+
+from repro.viz.strategy_viz import render_config, render_layer_summary, render_strategy
+from repro.viz.timeline_viz import device_utilization_bars, render_timeline
+
+__all__ = [
+    "render_config",
+    "render_layer_summary",
+    "render_strategy",
+    "device_utilization_bars",
+    "render_timeline",
+]

@@ -1,0 +1,63 @@
+"""ASCII rendering of parallelization strategies (Figures 13-14).
+
+The paper's case-study figures draw, for each operation, a rectangle
+partitioned vertically by the batch (sample) dimension and horizontally
+by the channel dimension, with one color per GPU.  The text renderer
+below produces the same information: per op (or per weight-sharing
+layer), the degree in each dimension and the device grid.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import OperatorGraph
+from repro.soap.config import ParallelConfig
+from repro.soap.strategy import Strategy
+
+__all__ = ["render_config", "render_strategy", "render_layer_summary"]
+
+
+def render_config(cfg: ParallelConfig) -> str:
+    """One-line cell grid: rows = sample split, cols = other splits."""
+    rows = cfg.degree_of("sample")
+    cols = max(1, cfg.num_tasks // max(1, rows))
+    lines = []
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            k = r * cols + c
+            if k < cfg.num_tasks:
+                cells.append(f"g{cfg.devices[k]}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_strategy(graph: OperatorGraph, strategy: Strategy, max_ops: int | None = None) -> str:
+    """Per-op table: name, per-dimension degrees, device list."""
+    lines = [f"{'operation':<30} {'partition':<28} devices"]
+    lines.append("-" * 80)
+    for i, oid in enumerate(graph.op_ids):
+        if max_ops is not None and i >= max_ops:
+            lines.append(f"... ({graph.num_ops - max_ops} more ops)")
+            break
+        cfg = strategy[oid]
+        degs = " x ".join(f"{n}={d}" for n, d in cfg.degrees if d > 1) or "replicate=1"
+        devs = ",".join(str(d) for d in cfg.devices)
+        lines.append(f"{graph.op(oid).name:<30} {degs:<28} [{devs}]")
+    return "\n".join(lines)
+
+
+def render_layer_summary(graph: OperatorGraph, strategy: Strategy) -> str:
+    """Figure-14-style per-layer summary: weight groups with their config.
+
+    Ops sharing parameters (one recurrent layer's unrolled steps) are
+    collapsed into one row, mirroring the paper's grey layer boxes.
+    """
+    lines = [f"{'layer (weight group)':<28} {'ops':>4} {'partition':<24} devices"]
+    lines.append("-" * 80)
+    for gkey, members in graph.param_groups().items():
+        cfg = strategy[members[0]]
+        degs = " x ".join(f"{n}={d}" for n, d in cfg.degrees if d > 1) or "replicate=1"
+        devs = ",".join(str(d) for d in cfg.devices)
+        label = gkey if not gkey.startswith("op:") else graph.op(members[0]).name
+        lines.append(f"{label:<28} {len(members):>4} {degs:<24} [{devs}]")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Shared test fixtures: small graphs, machines, and profilers."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.machine.clusters import p100_cluster, single_node
+from repro.models.lenet import lenet
+from repro.models.mlp import mlp
+from repro.profiler.profiler import OpProfiler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def profiler():
+    return OpProfiler()
+
+
+@pytest.fixture
+def topo4():
+    """Four P100 GPUs on one NVLink node."""
+    return single_node(4, "p100")
+
+
+@pytest.fixture
+def topo2():
+    return single_node(2, "p100")
+
+
+@pytest.fixture
+def multinode():
+    """Two nodes x two P100 GPUs with a shared IB link per node pair."""
+    return p100_cluster(num_nodes=2, gpus_per_node=2)
+
+
+@pytest.fixture
+def lenet_graph():
+    return lenet(batch=16)
+
+
+@pytest.fixture
+def mlp_graph():
+    return mlp(batch=16, in_dim=32, hidden=(64,), num_classes=8)
+
+
+@pytest.fixture
+def tiny_rnn_graph():
+    """A 2-step, 2-layer weight-shared LSTM stack with classifier."""
+    b = GraphBuilder("tiny_rnn", batch=8)
+    from repro.models.rnn import stacked_lstm
+
+    outputs = stacked_lstm(b, steps=2, layers=2, hidden=16, vocab=32, embed_dim=16)
+    logits = b.dense(outputs[-1][-1], 4, name="classifier")
+    b.softmax(logits, name="softmax")
+    return b.graph

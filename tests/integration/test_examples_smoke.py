@@ -1,0 +1,41 @@
+"""Smoke tests for the example scripts.
+
+Each example must parse, expose a ``main``, and the cheapest one must run
+end-to-end; the heavier searches are covered by the benchmarks.
+"""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    funcs = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in funcs
+    assert any(isinstance(n, ast.If) for n in tree.body)  # __main__ guard
+    docstring = ast.get_docstring(tree)
+    assert docstring and "Run:" in docstring
+
+
+def test_quickstart_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES[[p.name for p in EXAMPLES].index("quickstart.py")])],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "best per-iteration time" in proc.stdout

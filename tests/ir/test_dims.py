@@ -1,0 +1,125 @@
+"""Unit tests for named dimensions, shapes, and regions."""
+
+import pytest
+
+from repro.ir.dims import Dim, DimKind, Region, TensorShape
+
+
+class TestDim:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Dim("sample", 0)
+        with pytest.raises(ValueError):
+            Dim("sample", -3)
+
+    def test_frozen(self):
+        d = Dim("sample", 4)
+        with pytest.raises(Exception):
+            d.size = 8
+
+
+class TestTensorShape:
+    def test_of_constructor_and_accessors(self):
+        s = TensorShape.of(4, sample=8, channel=16, height=3, width=5)
+        assert s.names == ("sample", "channel", "height", "width")
+        assert s.size("channel") == 16
+        assert s.axis("height") == 2
+        assert s.volume == 8 * 16 * 3 * 5
+        assert s.bytes == s.volume * 4
+        assert "width" in s and "length" not in s
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape([Dim("a", 2), Dim("a", 3)])
+
+    def test_immutable(self):
+        s = TensorShape.of(4, sample=2)
+        with pytest.raises(AttributeError):
+            s.dtype_bytes = 8
+
+    def test_equality_and_hash(self):
+        a = TensorShape.of(4, sample=8, channel=16)
+        b = TensorShape.of(4, sample=8, channel=16)
+        c = TensorShape.of(4, sample=8, channel=32)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        # Order matters.
+        d = TensorShape.of(4, channel=16, sample=8)
+        assert a != d
+
+    def test_dtype_affects_equality(self):
+        a = TensorShape.of(4, sample=8)
+        b = TensorShape.of(2, sample=8)
+        assert a != b
+
+    def test_full_region(self):
+        s = TensorShape.of(4, sample=8, channel=16)
+        r = s.full_region()
+        assert r.volume == s.volume
+        assert r.range("sample") == (0, 8)
+
+
+class TestRegion:
+    def test_volume_and_extent(self):
+        r = Region((("sample", 0, 4), ("channel", 2, 10)))
+        assert r.volume == 4 * 8
+        assert r.extent("channel") == 8
+        assert r.extents() == (4, 8)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            Region((("sample", 3, 2),))
+        with pytest.raises(ValueError):
+            Region((("sample", -1, 2),))
+
+    def test_intersect(self):
+        a = Region((("x", 0, 4), ("y", 0, 4)))
+        b = Region((("x", 2, 6), ("y", 1, 3)))
+        inter = a.intersect(b)
+        assert inter is not None
+        assert inter.range("x") == (2, 4)
+        assert inter.range("y") == (1, 3)
+        assert a.overlap_volume(b) == 2 * 2
+
+    def test_intersect_empty(self):
+        a = Region((("x", 0, 4),))
+        b = Region((("x", 4, 8),))
+        assert a.intersect(b) is None
+        assert a.overlap_volume(b) == 0
+
+    def test_intersect_dim_mismatch(self):
+        a = Region((("x", 0, 4),))
+        b = Region((("y", 0, 4),))
+        with pytest.raises(ValueError):
+            a.intersect(b)
+
+    def test_with_range(self):
+        r = Region((("x", 0, 4), ("y", 0, 4)))
+        r2 = r.with_range("y", 1, 2)
+        assert r2.range("y") == (1, 2)
+        assert r2.range("x") == (0, 4)
+        with pytest.raises(KeyError):
+            r.with_range("z", 0, 1)
+
+    def test_to_slices_aligns_with_shape(self):
+        s = TensorShape.of(4, sample=8, channel=16, height=4, width=4)
+        r = Region((("sample", 0, 2), ("channel", 4, 8), ("height", 0, 4), ("width", 1, 3)))
+        sl = r.to_slices(s)
+        assert sl == (slice(0, 2), slice(4, 8), slice(0, 4), slice(1, 3))
+
+    def test_to_slices_missing_dims_default_full(self):
+        s = TensorShape.of(4, sample=8, channel=16)
+        r = Region((("sample", 1, 3),))
+        assert r.to_slices(s) == (slice(1, 3), slice(0, 16))
+
+    def test_build_ordering(self):
+        r = Region.build({"b": (0, 1), "a": (2, 3)}, order=["a", "b"])
+        assert r.names == ("a", "b")
+
+
+class TestDimKind:
+    def test_parallelizable(self):
+        assert DimKind.SAMPLE.parallelizable
+        assert DimKind.ATTRIBUTE.parallelizable
+        assert DimKind.PARAMETER.parallelizable
+        assert not DimKind.NONE.parallelizable

@@ -1,0 +1,134 @@
+"""Unit tests for the operator graph and the fluent builder."""
+
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.dims import TensorShape
+from repro.ir.op_dense import MatMul
+from repro.ir.op_misc import Input
+from repro.models.lenet import lenet
+
+
+class TestOperatorGraph:
+    def test_add_and_query(self, lenet_graph):
+        g = lenet_graph
+        assert g.num_ops == 10
+        assert g.sources == (0,)
+        assert g.sinks == (g.num_ops - 1,)
+        assert g.id_of("conv1") == 1
+        assert g.inputs_of(1) == (0,)
+        assert [e.dst for e in g.consumers_of(0)] == [1]
+
+    def test_insertion_is_topological(self, lenet_graph):
+        order = lenet_graph.topo_order()
+        pos = {oid: i for i, oid in enumerate(order)}
+        for e in lenet_graph.edges():
+            assert pos[e.src] < pos[e.dst]
+
+    def test_shape_mismatch_rejected(self):
+        b = GraphBuilder("g", batch=4)
+        x = b.input(TensorShape.of(4, sample=4, channel=8))
+        g = b.graph
+        bad = MatMul("bad", batch=4, in_dim=16, out_dim=4)  # expects channel=16
+        with pytest.raises(ValueError):
+            g.add_op(bad, [x])
+
+    def test_arity_mismatch_rejected(self):
+        b = GraphBuilder("g", batch=4)
+        b.input(TensorShape.of(4, sample=4, channel=8))
+        with pytest.raises(ValueError):
+            b.graph.add_op(MatMul("m", batch=4, in_dim=8, out_dim=4), [])
+
+    def test_duplicate_names_rejected(self):
+        b = GraphBuilder("g", batch=4)
+        b.input(TensorShape.of(4, sample=4, channel=8), name="x")
+        with pytest.raises(ValueError):
+            b.input(TensorShape.of(4, sample=4, channel=8), name="x")
+
+    def test_unknown_input_id_rejected(self):
+        b = GraphBuilder("g", batch=4)
+        b.input(TensorShape.of(4, sample=4, channel=8))
+        with pytest.raises(KeyError):
+            b.graph.add_op(MatMul("m", batch=4, in_dim=8, out_dim=4), [99])
+
+    def test_is_linear(self, mlp_graph, tiny_rnn_graph):
+        assert mlp_graph.is_linear()
+        assert not tiny_rnn_graph.is_linear()
+
+    def test_total_flops_and_params_positive(self, lenet_graph):
+        assert lenet_graph.total_flops() > 0
+        assert lenet_graph.total_params() > 0
+
+    def test_signature_stable_and_distinguishing(self):
+        a, b = lenet(batch=16), lenet(batch=16)
+        c = lenet(batch=32)
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+
+    def test_describe_mentions_every_op(self, lenet_graph):
+        text = lenet_graph.describe()
+        for oid in lenet_graph.op_ids:
+            assert lenet_graph.op(oid).name in text
+
+
+class TestParamGroups:
+    def test_singleton_groups_by_default(self, lenet_graph):
+        groups = lenet_graph.param_groups()
+        assert len(groups) == lenet_graph.num_ops
+        for members in groups.values():
+            assert len(members) == 1
+
+    def test_shared_groups(self, tiny_rnn_graph):
+        g = tiny_rnn_graph
+        groups = g.param_groups()
+        assert len(groups["lstm1"]) == 2
+        assert len(groups["lstm2"]) == 2
+        assert len(groups["embed"]) == 2
+        for m in groups["lstm1"]:
+            assert g.group_key(m) == "lstm1"
+            assert set(g.group_members(m)) == set(groups["lstm1"])
+
+    def test_group_members_of_singleton(self, lenet_graph):
+        oid = lenet_graph.id_of("conv1")
+        assert lenet_graph.group_members(oid) == (oid,)
+
+
+class TestGraphBuilder:
+    def test_builder_infers_shapes(self):
+        b = GraphBuilder("g", batch=8)
+        x = b.image_input(channels=3, hw=(8, 8))
+        x = b.conv2d(x, 4, kernel=(3, 3), padding="same")
+        assert b.shape_of(x).size("height") == 8
+        x = b.pool2d(x)
+        assert b.shape_of(x).size("height") == 4
+        x = b.flatten(x)
+        assert b.shape_of(x).size("channel") == 4 * 4 * 4
+
+    def test_token_input_variants(self):
+        b = GraphBuilder("g", batch=8)
+        t1 = b.token_input()
+        assert b.shape_of(t1).names == ("sample",)
+        t2 = b.token_input(seq_len=5)
+        assert b.shape_of(t2).names == ("sample", "length")
+
+    def test_residual_add(self):
+        b = GraphBuilder("g", batch=8)
+        x = b.image_input(channels=4, hw=(4, 4))
+        y = b.conv2d(x, 4, kernel=(3, 3), padding="same")
+        z = b.add(x, y)
+        assert b.shape_of(z) == b.shape_of(x)
+
+    def test_auto_names_unique(self):
+        b = GraphBuilder("g", batch=8)
+        x = b.image_input(channels=1, hw=(6, 6))
+        b.conv2d(x, 2)
+        b.conv2d(x, 2)
+        names = [b.graph.op(o).name for o in b.graph.op_ids]
+        assert len(names) == len(set(names))
+
+    def test_global_avg_pool_collapses_hw(self):
+        b = GraphBuilder("g", batch=8)
+        x = b.image_input(channels=4, hw=(6, 6))
+        x = b.global_avg_pool(x)
+        s = b.shape_of(x)
+        assert s.size("height") == 1 and s.size("width") == 1

@@ -1,0 +1,95 @@
+"""Unit tests for devices, topologies, and the paper's two clusters."""
+
+import pytest
+
+from repro.machine.clusters import k80_cluster, p100_cluster, single_node, uniform_cluster
+from repro.machine.device import GPU_SPECS, spec_for
+from repro.machine.topology import DeviceTopology
+
+
+class TestDeviceSpecs:
+    def test_known_specs(self):
+        for key in ("p100", "k80", "cpu", "v100"):
+            spec = spec_for(key)
+            assert spec.peak_gflops > 0 and spec.mem_bw_gbps > 0
+
+    def test_unknown_spec(self):
+        with pytest.raises(KeyError):
+            spec_for("tpu9000")
+
+    def test_unit_conversions(self):
+        spec = spec_for("p100")
+        assert spec.flops_per_us == spec.peak_gflops * 1e3
+        assert spec.bytes_per_us == spec.mem_bw_gbps * 1e3
+
+    def test_p100_faster_than_k80(self):
+        assert GPU_SPECS["p100"].peak_gflops > GPU_SPECS["k80"].peak_gflops
+
+
+class TestTopology:
+    def test_p100_cluster_layout(self):
+        topo = p100_cluster(4, 4)
+        assert topo.num_devices == 16
+        assert topo.num_nodes == 4
+        assert topo.same_node(0, 3)
+        assert not topo.same_node(0, 4)
+
+    def test_intra_vs_inter_bandwidth(self):
+        topo = p100_cluster(2, 4)
+        intra = topo.connection(0, 1)
+        inter = topo.connection(0, 4)
+        assert intra.label == "nvlink"
+        assert inter.label == "ib-edr"
+        assert intra.bandwidth_gbps > inter.bandwidth_gbps
+
+    def test_inter_node_connection_is_shared(self):
+        """Figure 6: one network path per node pair, not per GPU pair."""
+        topo = p100_cluster(2, 4)
+        a = topo.connection(0, 4)
+        b = topo.connection(1, 5)
+        assert a.cid == b.cid  # same shared IB path
+        c = topo.connection(4, 0)  # reverse direction is independent
+        assert c.cid != a.cid
+
+    def test_intra_node_connections_are_dedicated(self):
+        topo = p100_cluster(1, 4)
+        assert topo.connection(0, 1).cid != topo.connection(2, 3).cid
+
+    def test_k80_pcie_asymmetry(self):
+        topo = k80_cluster(1, 4)
+        adjacent = topo.connection(0, 1)
+        crossing = topo.connection(0, 2)
+        assert adjacent.bandwidth_gbps > crossing.bandwidth_gbps
+        assert adjacent.label == "pcie-switch"
+        assert crossing.label == "pcie-shared"
+
+    def test_transfer_time_formula(self):
+        topo = single_node(2, "p100")
+        conn = topo.connection(0, 1)
+        t = topo.transfer_us(0, 1, 20_000_000)  # 20 MB over 20 GB/s
+        assert abs(t - (conn.latency_us + 1000.0)) < 1e-6
+        assert topo.transfer_us(0, 0, 1e9) == 0.0
+
+    def test_self_connection_rejected(self):
+        topo = single_node(2, "p100")
+        with pytest.raises(ValueError):
+            topo.connection(1, 1)
+
+    def test_subset_preserves_placement(self):
+        topo = p100_cluster(2, 4)
+        sub = topo.subset(range(4))
+        assert sub.num_devices == 4
+        assert sub.num_nodes == 1
+        assert sub.connection(0, 1).label == "nvlink"
+
+    def test_dense_ids_required(self):
+        from repro.machine.device import Device
+
+        devs = [Device(1, "gpu", 0, 0, spec_for("p100"))]
+        with pytest.raises(ValueError):
+            DeviceTopology(devs, lambda a, b: (1.0, 1.0, "x", None))
+
+    def test_uniform_cluster(self):
+        topo = uniform_cluster(2, 2, intra_gbps=50.0, inter_gbps=5.0)
+        assert topo.connection(0, 1).bandwidth_gbps == 50.0
+        assert topo.connection(0, 2).bandwidth_gbps == 5.0

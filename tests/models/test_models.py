@@ -1,0 +1,128 @@
+"""Tests for the DNN model zoo (Table 3 structures)."""
+
+import pytest
+
+from repro.ir.op_dense import MatMul, Softmax
+from repro.ir.op_rnn import Attention, LSTMCell
+from repro.models import (
+    MODEL_NAMES,
+    alexnet,
+    get_model,
+    inception_v3,
+    lenet,
+    mlp,
+    nmt,
+    paper_batch_size,
+    resnet101,
+    rnnlm,
+    rnnlm_small,
+    rnntc,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_ci_models_build_and_validate(self, name):
+        g = get_model(name, scale="ci")
+        assert g.num_ops > 5
+        for oid in g.op_ids:
+            g.op(oid).validate_parallel_dims()
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("transformer9000")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_model("alexnet", scale="galactic")
+
+    def test_paper_batch_sizes(self):
+        assert paper_batch_size("alexnet") == 256
+        assert paper_batch_size("nmt") == 64
+
+
+class TestCNNs:
+    def test_alexnet_structure(self):
+        g = alexnet(batch=256)
+        # 5 convs + 3 pools + 3 fcs + softmax + input + flatten = 14.
+        assert g.num_ops == 14
+        assert g.op(g.id_of("fc6")).out_shape.size("channel") == 4096
+        assert g.is_linear()
+
+    def test_lenet_structure(self):
+        g = lenet()
+        assert g.num_ops == 10
+        assert g.op(g.id_of("softmax")).out_shape.size("channel") == 10
+
+    def test_resnet101_depth(self):
+        g = resnet101(batch=4)
+        from repro.ir.op_conv import Conv2D
+
+        convs = sum(1 for o in g.op_ids if isinstance(g.op(o), Conv2D))
+        # 1 stem + 3*(3+4+23+3) bottleneck convs + 4 projections = 104.
+        assert convs == 104
+        assert not g.is_linear()  # residual adds branch
+
+    def test_inception_v3_structure(self):
+        g = inception_v3(batch=4)
+        from repro.ir.op_conv import Conv2D
+        from repro.ir.op_misc import Concat
+
+        convs = sum(1 for o in g.op_ids if isinstance(g.op(o), Conv2D))
+        concats = sum(1 for o in g.op_ids if isinstance(g.op(o), Concat))
+        assert convs == 94  # standard Inception-v3 conv count
+        assert concats == 11  # one per mixed block
+        final = g.op(g.id_of("fc"))
+        assert final.in_dim == 2048  # canonical feature width
+
+
+class TestRNNs:
+    def test_rnntc_structure(self):
+        g = rnntc(batch=8, steps=4, hidden=32, vocab=100)
+        lstms = [g.op(o) for o in g.op_ids if isinstance(g.op(o), LSTMCell)]
+        assert len(lstms) == 4 * 4  # 4 layers x 4 steps
+        groups = g.param_groups()
+        assert len(groups["lstm1"]) == 4
+
+    def test_rnnlm_per_step_softmax(self):
+        g = rnnlm(batch=8, steps=3, hidden=32, vocab=100)
+        softmaxes = [o for o in g.op_ids if isinstance(g.op(o), Softmax)]
+        assert len(softmaxes) == 3
+        logits = [g.op(o) for o in g.op_ids if isinstance(g.op(o), MatMul)]
+        assert all(m.out_dim == 100 for m in logits)
+        assert len(g.param_groups()["lm_logits"]) == 3
+
+    def test_rnnlm_small_is_two_steps(self):
+        g = rnnlm_small(batch=8, hidden=16, vocab=32)
+        softmaxes = [o for o in g.op_ids if isinstance(g.op(o), Softmax)]
+        assert len(softmaxes) == 2
+
+    def test_nmt_structure(self):
+        g = nmt(batch=8, src_len=3, tgt_len=4, hidden=16, vocab=64)
+        attn = [g.op(o) for o in g.op_ids if isinstance(g.op(o), Attention)]
+        assert len(attn) == 4  # one per decoder step
+        assert all(a.src_len == 3 for a in attn)
+        groups = g.param_groups()
+        for key in ("enc_embed", "dec_embed", "enc_lstm1", "enc_lstm2", "dec_lstm1", "dec_lstm2", "attention", "nmt_logits"):
+            assert key in groups
+        assert len(groups["attention"]) == 4
+
+    def test_recurrent_state_chaining(self):
+        g = rnnlm(batch=8, steps=3, hidden=32, vocab=100)
+        l1 = g.param_groups()["lstm1"]
+        # Step t's cell consumes step t-1's hidden state.
+        assert l1[0] in g.inputs_of(l1[1])
+        assert l1[1] in g.inputs_of(l1[2])
+
+    def test_first_step_has_no_state_input(self):
+        g = rnnlm(batch=8, steps=2, hidden=32, vocab=100)
+        l1 = g.param_groups()["lstm1"]
+        assert not g.op(l1[0]).has_state_input
+        assert g.op(l1[1]).has_state_input
+
+
+class TestMLP:
+    def test_configurable_stack(self):
+        g = mlp(batch=8, in_dim=16, hidden=(32, 64), num_classes=4)
+        assert g.num_ops == 5  # input + 3 dense + softmax
+        assert g.op(g.id_of("fc2")).out_shape.size("channel") == 64

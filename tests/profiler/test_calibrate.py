@@ -1,0 +1,33 @@
+"""Tests for host-CPU calibration (real measurements through NumPy)."""
+
+import pytest
+
+from repro.machine.device import Device
+from repro.machine.topology import DeviceTopology
+from repro.profiler.calibrate import calibrate_cpu_spec, measure_matmul_gflops
+from repro.profiler.profiler import OpProfiler
+
+
+class TestCalibration:
+    def test_measured_rate_positive_and_sane(self):
+        rate = measure_matmul_gflops(128, repeats=2)
+        assert 0.05 < rate < 1e5  # anything from a potato to a supercomputer
+
+    def test_calibrated_spec_fields(self):
+        spec = calibrate_cpu_spec(sizes=(32, 128), launch_probe_size=8)
+        assert spec.key == "cpu-host"
+        assert spec.peak_gflops > 0
+        assert spec.mem_bw_gbps >= 1.0
+        assert spec.launch_overhead_us > 0
+        assert spec.sat_flops >= 1.0
+
+    def test_calibrated_spec_drives_the_simulator(self, lenet_graph):
+        """The fitted spec plugs into the standard pipeline end to end."""
+        spec = calibrate_cpu_spec(sizes=(32, 128))
+        devices = [Device(i, "cpu", 0, i, spec) for i in range(2)]
+        topo = DeviceTopology(devices, lambda a, b: (5.0, 2.0, "shm", None), name="cpu-pair")
+        from repro.sim.simulator import simulate_strategy
+        from repro.soap.presets import data_parallelism
+
+        m = simulate_strategy(lenet_graph, topo, data_parallelism(lenet_graph, topo), OpProfiler())
+        assert m.makespan_us > 0

@@ -1,0 +1,211 @@
+"""Distributed-execution equivalence: the correctness heart of the runtime.
+
+For every operator type and whole models, executing a SOAP strategy
+task-by-task on sub-tensors must reproduce the unpartitioned computation
+(see DESIGN.md's substitution table for why this covers the paper's
+runtime claims).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import GraphBuilder
+from repro.machine.clusters import single_node
+from repro.models.lenet import lenet
+from repro.models.nmt import nmt
+from repro.runtime.executor import (
+    distributed_forward,
+    init_params,
+    make_inputs,
+    reference_forward,
+)
+from repro.soap.config import ParallelConfig
+from repro.soap.presets import data_parallelism, expert_strategy, model_parallelism
+from repro.soap.space import ConfigSpace
+from repro.soap.strategy import Strategy
+
+
+def assert_equivalent(graph, strategy, seed=0, rtol=1e-4, atol=1e-5):
+    params = init_params(graph, seed=seed)
+    inputs = make_inputs(graph, seed=seed)
+    ref = reference_forward(graph, params, inputs)
+    dist = distributed_forward(graph, strategy, params, inputs)
+    for oid in graph.op_ids:
+        np.testing.assert_allclose(
+            dist[oid], ref[oid], rtol=rtol, atol=atol,
+            err_msg=f"op {graph.op(oid).name} diverged",
+        )
+
+
+class TestPresetEquivalence:
+    @pytest.mark.parametrize("preset", [data_parallelism, expert_strategy, model_parallelism])
+    def test_lenet(self, preset, topo4):
+        graph = lenet(batch=8)
+        assert_equivalent(graph, preset(graph, topo4))
+
+    def test_tiny_nmt_data_parallel(self, topo4):
+        graph = nmt(batch=4, src_len=2, tgt_len=2, hidden=8, vocab=16)
+        assert_equivalent(graph, data_parallelism(graph, topo4))
+
+
+class TestPerOpPartitioning:
+    def test_conv_spatial_split_with_halo(self, topo4):
+        """Height/width splits need halo reads; padding must still align."""
+        b = GraphBuilder("g", batch=4)
+        x = b.image_input(channels=3, hw=(12, 12))
+        c = b.conv2d(x, 8, kernel=(3, 3), padding=(1, 1))
+        graph = b.graph
+        strat = Strategy(
+            {
+                x: ParallelConfig.data_parallel(graph.op(x), (0, 1, 2, 3)),
+                c: ParallelConfig(
+                    degrees=(("height", 2), ("width", 2)), devices=(0, 1, 2, 3)
+                ),
+            }
+        )
+        assert_equivalent(graph, strat)
+
+    def test_conv_channel_split_shards_filters(self, topo4):
+        b = GraphBuilder("g", batch=4)
+        x = b.image_input(channels=3, hw=(8, 8))
+        c = b.conv2d(x, 8, kernel=(3, 3))
+        graph = b.graph
+        strat = Strategy(
+            {
+                x: ParallelConfig.single(0),
+                c: ParallelConfig(degrees=(("channel", 4),), devices=(0, 1, 2, 3)),
+            }
+        )
+        assert_equivalent(graph, strat)
+
+    def test_strided_conv_split(self, topo4):
+        b = GraphBuilder("g", batch=4)
+        x = b.image_input(channels=2, hw=(11, 11))
+        c = b.conv2d(x, 4, kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+        graph = b.graph
+        strat = Strategy(
+            {
+                x: ParallelConfig.single(0),
+                c: ParallelConfig(degrees=(("height", 3),), devices=(0, 1, 2)),
+            }
+        )
+        assert_equivalent(graph, strat)
+
+    def test_pool_split(self, topo4):
+        b = GraphBuilder("g", batch=4)
+        x = b.image_input(channels=4, hw=(8, 8))
+        p = b.pool2d(x, kernel=(2, 2))
+        graph = b.graph
+        strat = Strategy(
+            {
+                x: ParallelConfig.single(0),
+                p: ParallelConfig(
+                    degrees=(("channel", 2), ("height", 2)), devices=(0, 1, 2, 3)
+                ),
+            }
+        )
+        assert_equivalent(graph, strat)
+
+    def test_matmul_channel_split(self, topo4):
+        b = GraphBuilder("g", batch=8)
+        from repro.ir.dims import TensorShape
+
+        x = b.input(TensorShape.of(4, sample=8, channel=16))
+        m = b.dense(x, 12, activation="relu")
+        graph = b.graph
+        strat = Strategy(
+            {
+                x: ParallelConfig.single(0),
+                # Six tasks on four devices: device reuse is legal and the
+                # numerics must not care about placement at all.
+                m: ParallelConfig(
+                    degrees=(("sample", 2), ("channel", 3)), devices=(0, 1, 2, 3, 0, 1)
+                ),
+            }
+        )
+        assert_equivalent(graph, strat)
+
+    def test_lstm_channel_split_gate_structure(self, topo4):
+        """Channel-split LSTM shards gate columns; h must still assemble."""
+        b = GraphBuilder("g", batch=4)
+        from repro.ir.dims import TensorShape
+
+        x = b.input(TensorShape.of(4, sample=4, channel=8))
+        h1 = b.lstm(x, 12)
+        h2 = b.lstm(h1, 12, h_prev=h1)
+        graph = b.graph
+        strat = Strategy(
+            {
+                x: ParallelConfig.single(0),
+                h1: ParallelConfig(degrees=(("channel", 3),), devices=(0, 1, 2)),
+                h2: ParallelConfig(degrees=(("sample", 2), ("channel", 2)), devices=(0, 1, 2, 3)),
+            }
+        )
+        assert_equivalent(graph, strat)
+
+    def test_concat_split_across_branch_boundary(self, topo4):
+        b = GraphBuilder("g", batch=4)
+        x = b.image_input(channels=4, hw=(6, 6))
+        a = b.conv2d(x, 6, kernel=(1, 1))
+        c = b.conv2d(x, 10, kernel=(1, 1))
+        cat = b.concat([a, c], axis="channel")
+        graph = b.graph
+        strat = data_parallelism(graph, topo4).with_config(
+            cat,
+            ParallelConfig(degrees=(("channel", 4),), devices=(0, 1, 2, 3)),
+        )
+        assert_equivalent(graph, strat)
+
+    def test_embedding_channel_split(self, topo4):
+        b = GraphBuilder("g", batch=4)
+        t = b.token_input()
+        e = b.embedding(t, vocab=32, embed_dim=8)
+        graph = b.graph
+        strat = Strategy(
+            {
+                t: ParallelConfig.single(0),
+                e: ParallelConfig(degrees=(("channel", 4),), devices=(0, 1, 2, 3)),
+            }
+        )
+        assert_equivalent(graph, strat)
+
+
+class TestRandomStrategyEquivalence:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_lenet_random_strategies(self, seed):
+        graph = lenet(batch=8)
+        topo = single_node(4, "p100")
+        space = ConfigSpace(graph, topo)
+        rng = np.random.default_rng(seed)
+        assert_equivalent(graph, space.random_strategy(rng))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=6, deadline=None)
+    def test_property_nmt_random_strategies(self, seed):
+        graph = nmt(batch=4, src_len=2, tgt_len=2, hidden=8, vocab=16)
+        topo = single_node(4, "p100")
+        space = ConfigSpace(graph, topo)
+        rng = np.random.default_rng(seed)
+        assert_equivalent(graph, space.random_strategy(rng))
+
+
+class TestParamInit:
+    def test_weight_groups_share_arrays(self, tiny_rnn_graph):
+        params = init_params(tiny_rnn_graph, seed=0)
+        members = tiny_rnn_graph.param_groups()["lstm1"]
+        assert params[members[0]]["weight"] is params[members[1]]["weight"]
+
+    def test_bias_zero_gamma_one(self, lenet_graph):
+        params = init_params(lenet_graph, seed=0)
+        conv = lenet_graph.id_of("conv1")
+        assert np.all(params[conv]["bias"] == 0.0)
+
+    def test_token_inputs_are_valid_ids(self):
+        graph = nmt(batch=4, src_len=2, tgt_len=2, hidden=8, vocab=16)
+        inputs = make_inputs(graph, seed=0)
+        for oid, arr in inputs.items():
+            if graph.consumers_of(oid) and arr.ndim == 1:
+                assert arr.min() >= 0 and arr.max() < 16

@@ -1,0 +1,145 @@
+"""Unit tests for the NumPy kernels."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import kernels
+
+
+class TestConv2D:
+    def test_identity_kernel(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 5, 5)).astype(np.float32)
+        w = np.zeros((3, 3, 1, 1), np.float32)
+        for c in range(3):
+            w[c, c, 0, 0] = 1.0
+        y = kernels.conv2d(x, w, None, act=None)
+        np.testing.assert_allclose(y, x, atol=1e-6)
+
+    def test_known_sum_kernel(self):
+        x = np.ones((1, 1, 4, 4), np.float32)
+        w = np.ones((1, 1, 2, 2), np.float32)
+        y = kernels.conv2d(x, w, None, act=None)
+        assert y.shape == (1, 1, 3, 3)
+        np.testing.assert_allclose(y, 4.0)
+
+    def test_stride_and_padding(self):
+        x = np.ones((1, 1, 4, 4), np.float32)
+        w = np.ones((1, 1, 3, 3), np.float32)
+        y = kernels.conv2d(x, w, None, stride=(2, 2), padding=(1, 1), act=None)
+        assert y.shape == (1, 1, 2, 2)
+        assert y[0, 0, 0, 0] == 4.0  # corner sees 2x2 of ones
+
+    def test_bias_and_relu(self):
+        x = np.zeros((1, 1, 2, 2), np.float32)
+        w = np.zeros((2, 1, 1, 1), np.float32)
+        b = np.array([1.5, -2.0], np.float32)
+        y = kernels.conv2d(x, w, b, act="relu")
+        np.testing.assert_allclose(y[0, 0], 1.5)
+        np.testing.assert_allclose(y[0, 1], 0.0)
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = kernels.pool2d(x, (2, 2), (2, 2))
+        np.testing.assert_allclose(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        x = np.ones((1, 2, 4, 4), np.float32)
+        y = kernels.pool2d(x, (2, 2), (2, 2), kind="avg")
+        np.testing.assert_allclose(y, 1.0)
+
+    def test_pool1d(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 1, 8)
+        y = kernels.pool1d(x, 2, 2)
+        np.testing.assert_allclose(y[0, 0], [1, 3, 5, 7])
+
+
+class TestDense:
+    def test_matmul_matches_numpy(self, rng):
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 6)).astype(np.float32)
+        b = rng.standard_normal(6).astype(np.float32)
+        np.testing.assert_allclose(kernels.matmul(x, w, b), x @ w + b, rtol=1e-5)
+
+    def test_matmul_sequence(self, rng):
+        x = rng.standard_normal((4, 3, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 6)).astype(np.float32)
+        y = kernels.matmul(x, w, None)
+        assert y.shape == (4, 3, 6)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((5, 7)).astype(np.float32)
+        p = kernels.softmax(x)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-5)
+        assert (p >= 0).all()
+
+    def test_softmax_stability(self):
+        x = np.array([[1000.0, 1000.0]], np.float32)
+        p = kernels.softmax(x)
+        np.testing.assert_allclose(p, 0.5)
+
+    def test_embedding_gather(self):
+        table = np.arange(12, dtype=np.float32).reshape(4, 3)
+        ids = np.array([0, 2, 2], np.float32)
+        y = kernels.embedding(ids, table)
+        np.testing.assert_allclose(y[0], table[0])
+        np.testing.assert_allclose(y[1], table[2])
+
+
+class TestRecurrent:
+    def test_lstm_gate_math(self, rng):
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        h = rng.standard_normal((2, 3)).astype(np.float32)
+        c = rng.standard_normal((2, 3)).astype(np.float32)
+        w = rng.standard_normal((7, 12)).astype(np.float32)
+        b = rng.standard_normal(12).astype(np.float32)
+        h2, c2 = kernels.lstm_cell(x, h, c, w, b)
+        z = np.concatenate([x, h], axis=-1) @ w + b
+        i, f, g, o = np.split(z, 4, axis=-1)
+        sig = lambda v: 1 / (1 + np.exp(-v))
+        c_ref = sig(f) * c + sig(i) * np.tanh(g)
+        np.testing.assert_allclose(c2, c_ref, rtol=1e-5)
+        np.testing.assert_allclose(h2, sig(o) * np.tanh(c_ref), rtol=1e-5)
+
+    def test_lstm_outputs_bounded(self, rng):
+        x = rng.standard_normal((2, 4)).astype(np.float32) * 10
+        h = rng.standard_normal((2, 3)).astype(np.float32) * 10
+        c = np.zeros((2, 3), np.float32)
+        w = rng.standard_normal((7, 12)).astype(np.float32)
+        h2, _ = kernels.lstm_cell(x, h, c, w, np.zeros(12, np.float32))
+        assert (np.abs(h2) <= 1.0 + 1e-6).all()
+
+    def test_attention_weights_context(self, rng):
+        dec = rng.standard_normal((2, 4)).astype(np.float32)
+        enc = [rng.standard_normal((2, 4)).astype(np.float32) for _ in range(3)]
+        proj = rng.standard_normal((8, 4)).astype(np.float32)
+        y = kernels.attention(dec, enc, proj)
+        assert y.shape == (2, 4)
+        assert (np.abs(y) <= 1.0 + 1e-6).all()  # tanh output
+
+
+class TestElementwise:
+    def test_add_mul(self, rng):
+        a = rng.standard_normal((3, 3)).astype(np.float32)
+        b = rng.standard_normal((3, 3)).astype(np.float32)
+        np.testing.assert_allclose(kernels.elementwise("add", [a, b]), a + b)
+        np.testing.assert_allclose(kernels.elementwise("mul", [a, b]), a * b)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            kernels.elementwise("nope", [np.zeros(2)])
+
+    def test_batchnorm_affine(self, rng):
+        x = rng.standard_normal((2, 3, 2, 2)).astype(np.float32)
+        gamma = np.array([1.0, 2.0, 0.5], np.float32)
+        beta = np.array([0.0, 1.0, -1.0], np.float32)
+        y = kernels.batchnorm_affine(x, gamma, beta)
+        np.testing.assert_allclose(y[:, 1], x[:, 1] * 2.0 + 1.0, rtol=1e-6)
+
+    def test_activation_dispatch(self):
+        x = np.array([-1.0, 2.0], np.float32)
+        np.testing.assert_allclose(kernels.activation(x, None), x)
+        np.testing.assert_allclose(kernels.activation(x, "relu"), [0.0, 2.0])
+        with pytest.raises(ValueError):
+            kernels.activation(x, "swish9")

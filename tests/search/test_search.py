@@ -1,0 +1,111 @@
+"""Tests for the MCMC optimizer and the exhaustive reference search."""
+
+import numpy as np
+import pytest
+
+from repro.machine.clusters import single_node
+from repro.models.mlp import mlp
+from repro.profiler.profiler import OpProfiler
+from repro.search.exhaustive import exhaustive_search
+from repro.search.mcmc import MCMCConfig, mcmc_search
+from repro.search.optimizer import optimize
+from repro.sim.simulator import Simulator, simulate_strategy
+from repro.soap.presets import data_parallelism
+from repro.soap.space import ConfigSpace
+
+
+class TestMCMC:
+    def test_never_worse_than_init(self, lenet_graph, topo4):
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        init_cost = sim.cost
+        space = ConfigSpace(lenet_graph, topo4)
+        best, cost, trace = mcmc_search(sim, space, MCMCConfig(iterations=100, seed=0))
+        assert cost <= init_cost
+        assert trace.proposed > 0
+        assert 0 <= trace.acceptance_rate <= 1
+
+    def test_best_strategy_reproduces_cost(self, lenet_graph, topo4):
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        best, cost, _ = mcmc_search(sim, space=ConfigSpace(lenet_graph, topo4), config=MCMCConfig(iterations=80, seed=1))
+        replay = simulate_strategy(lenet_graph, topo4, best, prof).makespan_us
+        assert abs(replay - cost) < 1e-6
+
+    def test_deterministic_given_seed(self, lenet_graph, topo4):
+        results = []
+        for _ in range(2):
+            prof = OpProfiler()
+            sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+            _, cost, trace = mcmc_search(sim, ConfigSpace(lenet_graph, topo4), MCMCConfig(iterations=50, seed=7))
+            results.append((cost, trace.accepted))
+        assert results[0] == results[1]
+
+    def test_trace_best_monotone(self, lenet_graph, topo4):
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        _, _, trace = mcmc_search(sim, ConfigSpace(lenet_graph, topo4), MCMCConfig(iterations=60, seed=2))
+        assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(trace.best_costs, trace.best_costs[1:]))
+
+    def test_early_stop_without_improvement(self, lenet_graph, topo4):
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        cfg = MCMCConfig(iterations=10_000, seed=3, no_improve_frac=0.01)
+        _, _, trace = mcmc_search(sim, ConfigSpace(lenet_graph, topo4), cfg)
+        assert trace.proposed < 10_000  # stopped early
+
+
+class TestOptimizer:
+    def test_result_fields_and_summary(self, lenet_graph, topo4):
+        res = optimize(lenet_graph, topo4, budget_iters=60, seed=0)
+        assert res.best_cost_us > 0
+        assert res.best_cost_us <= res.init_costs["data_parallel"] + 1e-9
+        assert res.simulations > 0
+        assert res.wall_time_s > 0
+        assert "best per-iteration time" in res.summary()
+        assert res.throughput(batch=16) == pytest.approx(16 / (res.best_cost_us / 1e6))
+
+    def test_valid_best_strategy(self, lenet_graph, topo4):
+        res = optimize(lenet_graph, topo4, budget_iters=60, seed=0)
+        res.best_strategy.validate(lenet_graph, topo4)
+
+    def test_expert_init_supported(self, lenet_graph, topo4):
+        res = optimize(lenet_graph, topo4, budget_iters=40, inits=("expert",), seed=0)
+        assert "expert" in res.init_costs
+
+    def test_unknown_init_rejected(self, lenet_graph, topo4):
+        with pytest.raises(ValueError):
+            optimize(lenet_graph, topo4, budget_iters=10, inits=("alien",))
+
+    def test_group_configs_stay_tied(self, tiny_rnn_graph, topo4):
+        res = optimize(tiny_rnn_graph, topo4, budget_iters=60, seed=1)
+        res.best_strategy.validate(tiny_rnn_graph, topo4)  # group consistency
+
+    def test_full_algorithm_matches_delta_quality(self, lenet_graph, topo4):
+        rd = optimize(lenet_graph, topo4, budget_iters=50, seed=4, algorithm="delta")
+        rf = optimize(lenet_graph, topo4, budget_iters=50, seed=4, algorithm="full")
+        assert rd.best_cost_us == pytest.approx(rf.best_cost_us, rel=1e-9)
+
+
+class TestExhaustive:
+    def test_finds_global_optimum_on_tiny_space(self, topo2):
+        graph = mlp(batch=8, in_dim=16, hidden=(), num_classes=4)
+        prof = OpProfiler()
+        ex = exhaustive_search(graph, topo2, profiler=prof)
+        assert ex.explored > 0
+        # MCMC over the same space must match the optimum.
+        res = optimize(graph, topo2, profiler=prof, budget_iters=400, seed=0)
+        assert res.best_cost_us <= ex.best_cost_us * 1.0 + 1e-6
+
+    def test_exhaustive_beats_or_matches_data_parallelism(self, topo2):
+        graph = mlp(batch=8, in_dim=16, hidden=(), num_classes=4)
+        prof = OpProfiler()
+        ex = exhaustive_search(graph, topo2, profiler=prof)
+        dp = simulate_strategy(graph, topo2, data_parallelism(graph, topo2), prof).makespan_us
+        assert ex.best_cost_us <= dp + 1e-9
+
+    def test_truncation_bounds_work(self, topo2):
+        graph = mlp(batch=8, in_dim=16, hidden=(16,), num_classes=4)
+        full = exhaustive_search(graph, topo2, max_configs_per_op=3)
+        assert full.best_cost_us > 0
+        assert full.best_strategy is not None

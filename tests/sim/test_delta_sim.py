@@ -1,0 +1,113 @@
+"""Delta == full simulation: the Section 5.3 invariant, property-tested.
+
+"The full and delta simulation algorithms always produce the same
+timeline for a given task graph."
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.clusters import p100_cluster, single_node
+from repro.models.lenet import lenet
+from repro.models.mlp import mlp
+from repro.models.rnn import rnnlm
+from repro.profiler.profiler import OpProfiler
+from repro.sim.delta_sim import DeltaStats, delta_simulate
+from repro.sim.full_sim import full_simulate
+from repro.sim.simulator import Simulator
+from repro.sim.taskgraph import TaskGraph
+from repro.soap.presets import data_parallelism, expert_strategy
+from repro.soap.space import ConfigSpace
+
+
+def mutate_and_check(graph, topo, seed, steps, init=data_parallelism):
+    """Apply `steps` random group mutations, asserting delta == full."""
+    prof = OpProfiler()
+    sim = Simulator(graph, topo, init(graph, topo), prof, algorithm="delta")
+    space = ConfigSpace(graph, topo)
+    rng = np.random.default_rng(seed)
+    for i in range(steps):
+        oid = int(rng.choice(graph.op_ids))
+        cfg = space.random_config(oid, rng)
+        cost = sim.reconfigure(oid, cfg)
+        ref = full_simulate(sim.task_graph)
+        assert abs(ref.makespan - cost) < 1e-6, f"makespan diverged at step {i}"
+        assert ref.equals(sim.timeline), f"timeline diverged at step {i}"
+    return sim
+
+
+class TestDeltaEqualsFull:
+    def test_lenet_chain(self, lenet_graph, topo4):
+        sim = mutate_and_check(lenet_graph, topo4, seed=0, steps=40)
+        assert sim.delta_stats.fallbacks == 0
+
+    def test_mlp_multinode(self, mlp_graph, multinode):
+        sim = mutate_and_check(mlp_graph, multinode, seed=1, steps=40)
+        assert sim.delta_stats.fallbacks == 0
+
+    def test_weight_shared_rnn(self, tiny_rnn_graph, topo4):
+        sim = mutate_and_check(tiny_rnn_graph, topo4, seed=2, steps=30)
+        assert sim.delta_stats.fallbacks == 0
+
+    def test_from_expert_init(self, lenet_graph, topo4):
+        mutate_and_check(lenet_graph, topo4, seed=3, steps=20, init=expert_strategy)
+
+    def test_revert_restores_cost(self, lenet_graph, topo4):
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        space = ConfigSpace(lenet_graph, topo4)
+        rng = np.random.default_rng(4)
+        base = sim.cost
+        oid = int(lenet_graph.op_ids[3])
+        old_cfg = sim.strategy[oid]
+        sim.reconfigure(oid, space.random_config(oid, rng))
+        restored = sim.reconfigure(oid, old_cfg)
+        assert abs(restored - base) < 1e-6
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_mutation_chains(self, seed):
+        graph = mlp(batch=16, in_dim=32, hidden=(64,), num_classes=8)
+        topo = single_node(3, "p100")
+        mutate_and_check(graph, topo, seed=seed, steps=6)
+
+    def test_stats_accounting(self, lenet_graph, topo4):
+        sim = mutate_and_check(lenet_graph, topo4, seed=5, steps=10)
+        st_ = sim.delta_stats
+        assert st_.invocations == 10
+        assert 0 < st_.resim_fraction <= 1.0
+
+    def test_noop_change_keeps_timeline(self, lenet_graph, topo4):
+        """Replacing a config with an identical one must be a fixpoint."""
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        before = sim.cost
+        oid = lenet_graph.id_of("conv1")
+        cost = sim.reconfigure(oid, sim.strategy[oid])
+        assert abs(cost - before) < 1e-6
+        assert full_simulate(sim.task_graph).equals(sim.timeline)
+
+
+class TestSimulatorFacade:
+    def test_algorithms_agree(self, lenet_graph, topo4):
+        rng = np.random.default_rng(6)
+        space = ConfigSpace(lenet_graph, topo4)
+        muts = []
+        for _ in range(10):
+            oid = int(rng.choice(lenet_graph.op_ids))
+            muts.append((oid, space.random_config(oid, rng)))
+        costs = {}
+        for alg in ("full", "delta"):
+            sim = Simulator(
+                lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler(), algorithm=alg
+            )
+            costs[alg] = [sim.reconfigure(o, c) for o, c in muts]
+        assert np.allclose(costs["full"], costs["delta"])
+
+    def test_unknown_algorithm_rejected(self, lenet_graph, topo4):
+        with pytest.raises(ValueError):
+            Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler(), algorithm="magic")
+
+    def test_metrics_accessor(self, lenet_graph, topo4):
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        assert sim.metrics().makespan_us == sim.cost

@@ -1,0 +1,94 @@
+"""Unit tests for parallelization configurations (Section 4)."""
+
+import pytest
+
+from repro.ir.op_conv import Conv2D
+from repro.ir.op_dense import MatMul
+from repro.soap.config import ParallelConfig, largest_dividing_degree
+
+
+def conv():
+    return Conv2D("c", batch=8, in_channels=3, out_channels=16, in_hw=(10, 10), kernel=(3, 3))
+
+
+class TestLargestDividingDegree:
+    def test_basic(self):
+        assert largest_dividing_degree(64, 16) == 16
+        assert largest_dividing_degree(10, 4) == 2
+        assert largest_dividing_degree(7, 4) == 1
+        assert largest_dividing_degree(7, 7) == 7
+
+    def test_bad_cap(self):
+        with pytest.raises(ValueError):
+            largest_dividing_degree(8, 0)
+
+
+class TestParallelConfig:
+    def test_task_count_matches_devices(self):
+        cfg = ParallelConfig(degrees=(("sample", 2), ("channel", 2)), devices=(0, 1, 2, 3))
+        assert cfg.num_tasks == 4
+        with pytest.raises(ValueError):
+            ParallelConfig(degrees=(("sample", 2),), devices=(0, 1, 2))
+
+    def test_coords_roundtrip(self):
+        cfg = ParallelConfig(degrees=(("sample", 2), ("channel", 3)), devices=tuple(range(6)))
+        for k in range(6):
+            assert cfg.coords_to_index(cfg.task_coords(k)) == k
+        assert cfg.task_coords(0) == (0, 0)
+        assert cfg.task_coords(5) == (1, 2)
+
+    def test_task_regions_figure4(self):
+        """The 2x2 matmul partitioning of Figure 4."""
+        op = MatMul("m", batch=8, in_dim=4, out_dim=8)
+        cfg = ParallelConfig(degrees=(("sample", 2), ("channel", 2)), devices=(0, 1, 2, 3))
+        regions = cfg.task_regions(op)
+        assert regions[0].range("sample") == (0, 4)
+        assert regions[0].range("channel") == (0, 4)
+        assert regions[3].range("sample") == (4, 8)
+        assert regions[3].range("channel") == (4, 8)
+
+    def test_validate_divisibility(self):
+        op = conv()
+        good = ParallelConfig(degrees=(("sample", 4),), devices=(0, 1, 2, 3))
+        good.validate(op, num_devices=4)
+        bad = ParallelConfig(degrees=(("sample", 3),), devices=(0, 1, 2))
+        with pytest.raises(ValueError):
+            bad.validate(op, num_devices=4)
+
+    def test_validate_parallelizable_dims_only(self):
+        op = MatMul("m", batch=8, in_dim=4, out_dim=8)
+        bad = ParallelConfig(degrees=(("height", 2),), devices=(0, 1))
+        with pytest.raises(ValueError):
+            bad.validate(op)
+
+    def test_validate_device_range(self):
+        op = conv()
+        cfg = ParallelConfig(degrees=(("sample", 2),), devices=(0, 9))
+        with pytest.raises(ValueError):
+            cfg.validate(op, num_devices=4)
+
+    def test_degree_of_defaults_to_one(self):
+        cfg = ParallelConfig(degrees=(("sample", 2),), devices=(0, 1))
+        assert cfg.degree_of("sample") == 2
+        assert cfg.degree_of("channel") == 1
+
+    def test_single_and_data_parallel_constructors(self):
+        op = conv()
+        s = ParallelConfig.single(3)
+        assert s.num_tasks == 1 and s.devices == (3,)
+        dp = ParallelConfig.data_parallel(op, (0, 1, 2, 3))
+        assert dp.degree_of("sample") == 4
+
+    def test_data_parallel_uneven_batch_falls_back(self):
+        op = MatMul("m", batch=6, in_dim=4, out_dim=8)
+        dp = ParallelConfig.data_parallel(op, (0, 1, 2, 3))
+        assert dp.degree_of("sample") == 3  # largest divisor of 6 <= 4
+
+    def test_param_parallel_constructor(self):
+        op = MatMul("m", batch=8, in_dim=4, out_dim=8)
+        pp = ParallelConfig.param_parallel(op, "channel", (0, 1, 2, 3))
+        assert pp.degree_of("channel") == 4
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(degrees=(("sample", 0),), devices=())

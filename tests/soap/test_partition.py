@@ -1,0 +1,87 @@
+"""Tests for partition geometry, including hypothesis coverage properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.op_conv import Conv2D
+from repro.ir.op_dense import MatMul
+from repro.soap.config import ParallelConfig
+from repro.soap.partition import check_coverage, overlapping_tasks
+from repro.soap.space import divisors
+
+
+def matmul(batch=16, in_dim=8, out_dim=12):
+    return MatMul("m", batch=batch, in_dim=in_dim, out_dim=out_dim)
+
+
+class TestOverlappingTasks:
+    def test_aligned_partition_single_producer(self):
+        op = matmul()
+        cfg = ParallelConfig(degrees=(("sample", 4),), devices=(0, 1, 2, 3))
+        region = cfg.task_region(op, 1)
+        hits = overlapping_tasks(op, cfg, region)
+        assert hits == [(1, region.volume)]
+
+    def test_cross_partition_overlaps(self):
+        op = matmul()
+        cfg = ParallelConfig(degrees=(("sample", 2),), devices=(0, 1))
+        # A consumer needing the full tensor overlaps both tasks.
+        hits = overlapping_tasks(op, cfg, op.out_shape.full_region())
+        assert [k for k, _ in hits] == [0, 1]
+        assert sum(v for _, v in hits) == op.out_shape.volume
+
+    def test_empty_region(self):
+        op = matmul()
+        cfg = ParallelConfig(degrees=(("sample", 2),), devices=(0, 1))
+        region = op.out_shape.full_region().with_range("sample", 4, 4)
+        assert overlapping_tasks(op, cfg, region) == []
+
+    def test_single_task_config(self):
+        op = matmul()
+        cfg = ParallelConfig.single(0)
+        hits = overlapping_tasks(op, cfg, op.out_shape.full_region())
+        assert hits == [(0, op.out_shape.volume)]
+
+    def test_volumes_match_explicit_intersection(self, rng):
+        op = Conv2D("c", batch=8, in_channels=2, out_channels=4, in_hw=(9, 9), kernel=(3, 3))
+        cfg = ParallelConfig(
+            degrees=(("sample", 2), ("channel", 2), ("height", 7)), devices=tuple(range(28))
+        )
+        region = op.out_shape.full_region().with_range("height", 2, 6).with_range("sample", 3, 8)
+        expected = {}
+        for k in range(cfg.num_tasks):
+            v = cfg.task_region(op, k).overlap_volume(region)
+            if v:
+                expected[k] = v
+        assert dict(overlapping_tasks(op, cfg, region)) == expected
+
+
+class TestCheckCoverage:
+    def test_good_coverage(self):
+        op = matmul()
+        cfg = ParallelConfig(degrees=(("sample", 4), ("channel", 3)), devices=tuple(range(12)))
+        check_coverage(op, cfg)
+
+    @given(
+        batch_log=st.integers(0, 4),
+        out_dim=st.sampled_from([6, 12, 24]),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_partitions_tile_exactly(self, batch_log, out_dim, data):
+        """Any legal degree vector tiles the output tensor exactly."""
+        batch = 2**batch_log
+        op = matmul(batch=batch, in_dim=4, out_dim=out_dim)
+        sd = data.draw(st.sampled_from(divisors(batch)))
+        cd = data.draw(st.sampled_from(divisors(out_dim)))
+        degrees = tuple(
+            (n, d) for n, d in (("sample", sd), ("channel", cd)) if d > 1
+        )
+        cfg = ParallelConfig(degrees=degrees, devices=tuple(range(sd * cd)))
+        check_coverage(op, cfg)
+        # And overlapping_tasks over the full region returns every task.
+        hits = overlapping_tasks(op, cfg, op.out_shape.full_region())
+        assert len(hits) == cfg.num_tasks
+        assert sum(v for _, v in hits) == op.out_shape.volume

@@ -1,0 +1,68 @@
+"""Tests for strategy/timeline rendering and bench reporting."""
+
+from repro.bench.reporting import format_table
+from repro.profiler.profiler import OpProfiler
+from repro.sim.full_sim import full_simulate
+from repro.sim.taskgraph import TaskGraph
+from repro.soap.config import ParallelConfig
+from repro.soap.presets import data_parallelism
+from repro.viz.strategy_viz import render_config, render_layer_summary, render_strategy
+from repro.viz.timeline_viz import device_utilization_bars, render_timeline
+
+
+class TestStrategyViz:
+    def test_render_config_grid(self):
+        cfg = ParallelConfig(degrees=(("sample", 2), ("channel", 2)), devices=(0, 1, 2, 3))
+        text = render_config(cfg)
+        assert "g0" in text and "g3" in text
+        assert text.count("\n") == 1  # two sample rows
+
+    def test_render_strategy_lists_ops(self, lenet_graph, topo4):
+        s = data_parallelism(lenet_graph, topo4)
+        text = render_strategy(lenet_graph, s)
+        assert "conv1" in text and "sample=4" in text
+
+    def test_render_strategy_truncation(self, lenet_graph, topo4):
+        s = data_parallelism(lenet_graph, topo4)
+        text = render_strategy(lenet_graph, s, max_ops=3)
+        assert "more ops" in text
+
+    def test_layer_summary_collapses_groups(self, tiny_rnn_graph, topo4):
+        s = data_parallelism(tiny_rnn_graph, topo4)
+        text = render_layer_summary(tiny_rnn_graph, s)
+        assert "lstm1" in text
+        # One row per group, not per op.
+        assert text.count("lstm1") == 1
+
+
+class TestTimelineViz:
+    def test_render_timeline(self, lenet_graph, topo4):
+        tg = TaskGraph(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        tl = full_simulate(tg)
+        text = render_timeline(tg, tl)
+        assert "ms total" in text
+        assert "gpu0" in text and "#" in text
+
+    def test_utilization_bars(self, lenet_graph, topo4):
+        tg = TaskGraph(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        tl = full_simulate(tg)
+        text = device_utilization_bars(tg, tl)
+        assert "%" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}]
+        text = format_table(rows, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_value_formats(self):
+        rows = [{"v": None}, {"v": 12345.6}, {"v": 0.0001}, {"v": "s"}]
+        text = format_table(rows)
+        assert "-" in text and "s" in text
