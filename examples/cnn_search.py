@@ -23,6 +23,15 @@ def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("--gpus", type=int, default=8, choices=(4, 8, 16))
     ap.add_argument("--iters", type=int, default=300)
+    ap.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for chain fan-out (same result for any value)",
+    )
+    ap.add_argument(
+        "--cache-size", type=int, default=4096, help="strategy-evaluation cache entries (0 = off)"
+    )
     args = ap.parse_args()
 
     graph = inception_v3(batch=64)
@@ -30,7 +39,15 @@ def main() -> None:
     profiler = OpProfiler()
     print(f"Inception-v3 ({graph.num_ops} ops) on {topo.name}\n")
 
-    result = optimize(graph, topo, profiler=profiler, budget_iters=args.iters, seed=0)
+    result = optimize(
+        graph,
+        topo,
+        profiler=profiler,
+        budget_iters=args.iters,
+        seed=0,
+        workers=args.workers,
+        cache_size=args.cache_size,
+    )
     rows = strategy_rows(
         graph,
         topo,

@@ -23,6 +23,15 @@ def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("--steps", type=int, default=10, help="unrolled steps per side (paper: 40)")
     ap.add_argument("--iters", type=int, default=400)
+    ap.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for chain fan-out (same result for any value)",
+    )
+    ap.add_argument(
+        "--cache-size", type=int, default=4096, help="strategy-evaluation cache entries (0 = off)"
+    )
     args = ap.parse_args()
 
     graph = nmt(batch=64, src_len=args.steps, tgt_len=args.steps, hidden=1024, vocab=16384)
@@ -30,7 +39,15 @@ def main() -> None:
     profiler = OpProfiler()
     print(f"NMT ({graph.num_ops} ops, {len(graph.param_groups())} weight groups) on {topo.name}\n")
 
-    result = optimize(graph, topo, profiler=profiler, budget_iters=args.iters, seed=0)
+    result = optimize(
+        graph,
+        topo,
+        profiler=profiler,
+        budget_iters=args.iters,
+        seed=0,
+        workers=args.workers,
+        cache_size=args.cache_size,
+    )
     rows = strategy_rows(
         graph,
         topo,

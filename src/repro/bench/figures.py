@@ -36,6 +36,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.reference import ReferenceConfig, reference_execute
 from repro.runtime.training import Trainer
+from repro.search.cache import SimulationCache
 from repro.search.exhaustive import exhaustive_search
 from repro.search.mcmc import MCMCConfig, mcmc_search
 from repro.search.optimizer import optimize
@@ -57,6 +58,7 @@ __all__ = [
     "fig13_fig14_case_study",
     "table3_accuracy_parity",
     "table4_search_time",
+    "table4_parallel_search",
     "sec84_optimality",
 ]
 
@@ -70,6 +72,8 @@ def _flexflow(graph, topo, scale: BenchScale, seed: int = 0, profiler=None):
         budget_iters=scale.search_iters,
         inits=("data_parallel", "random"),
         seed=seed,
+        workers=scale.search_workers,
+        cache_size=scale.sim_cache_size,
     )
 
 
@@ -294,8 +298,13 @@ def fig12_search_progress(scale: BenchScale, checkpoints: int = 8) -> list[dict]
         profiler = OpProfiler()
         sim = Simulator(graph, topo, data_parallelism(graph, topo), profiler, algorithm=algorithm)
         space = ConfigSpace(graph, topo)
-        cfg = MCMCConfig(iterations=scale.search_iters, seed=0)
-        _, best, trace = mcmc_search(sim, space, cfg)
+        cfg = MCMCConfig(
+            iterations=scale.search_iters,
+            seed=0,
+            checkpoint_every=max(1, scale.search_iters // checkpoints),
+        )
+        cache = SimulationCache(scale.sim_cache_size) if scale.sim_cache_size > 0 else None
+        _, best, trace = mcmc_search(sim, space, cfg, cache=cache)
         if not trace.times_s:
             continue
         total = trace.times_s[-1]
@@ -433,6 +442,57 @@ def table4_search_time(
                     "speedup": times["full"] / times["delta"] if times["delta"] > 0 else float("nan"),
                 }
             )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4 companion: sequential vs parallel+cached search orchestration.
+# ---------------------------------------------------------------------------
+def table4_parallel_search(
+    scale: BenchScale,
+    model: str = "inception_v3",
+    gpus: int = 8,
+    workers: int = 4,
+    seed: int = 0,
+) -> list[dict]:
+    """Same search run sequentially-uncached and fanned-out-with-cache.
+
+    Both rows drive identical Markov chains (per-chain seeds + canonical
+    tie-breaking make results independent of worker count and caching),
+    so ``best_iter_ms`` must agree exactly; the interesting columns are
+    wall time and cache hit rate.  The ``inits`` list is widened to one
+    chain per worker so the fan-out has enough independent chains to
+    spread.
+    """
+    graph, _ = bench_model(model, scale)
+    topo = cluster("p100", min(gpus, scale.max_gpus_p100))
+    inits = ("data_parallel", "expert") + ("random",) * max(2, workers - 2)
+    rows = []
+    for label, w, cache in (
+        ("sequential", 1, 0),
+        ("parallel+cache", workers, scale.sim_cache_size),
+    ):
+        profiler = OpProfiler()
+        res = optimize(
+            graph,
+            topo,
+            profiler=profiler,
+            budget_iters=scale.search_iters,
+            inits=inits,
+            seed=seed,
+            workers=w,
+            cache_size=cache,
+        )
+        rows.append(
+            {
+                "mode": label,
+                "workers": w,
+                "best_iter_ms": res.best_cost_us / 1e3,
+                "wall_s": res.wall_time_s,
+                "simulations": res.simulations,
+                "cache_hit_rate": res.cache_hit_rate,
+            }
+        )
     return rows
 
 

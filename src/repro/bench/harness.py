@@ -11,7 +11,7 @@ search budgets).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.ir.graph import OperatorGraph
 from repro.machine.clusters import k80_cluster, p100_cluster
@@ -47,6 +47,8 @@ class BenchScale:
     max_gpus_k80: int
     sim_accuracy_strategies: int  # strategies per point in Fig. 11
     table4_iters: int  # search iterations per Table 4 cell
+    search_workers: int = 1  # process fan-out for multi-chain search
+    sim_cache_size: int = 4096  # strategy-evaluation cache per worker
 
 
 CI_SCALE = BenchScale(
@@ -58,6 +60,8 @@ CI_SCALE = BenchScale(
     max_gpus_k80=16,
     sim_accuracy_strategies=4,
     table4_iters=20,
+    search_workers=1,
+    sim_cache_size=4096,
 )
 
 FULL_SCALE = BenchScale(
@@ -69,12 +73,25 @@ FULL_SCALE = BenchScale(
     max_gpus_k80=64,
     sim_accuracy_strategies=8,
     table4_iters=100,
+    search_workers=4,
+    sim_cache_size=65536,
 )
 
 
 def current_scale() -> BenchScale:
-    """CI scale unless ``REPRO_FULL=1`` is set in the environment."""
-    return FULL_SCALE if os.environ.get("REPRO_FULL") == "1" else CI_SCALE
+    """CI scale unless ``REPRO_FULL=1`` is set in the environment.
+
+    ``REPRO_WORKERS`` and ``REPRO_CACHE`` override the scale's search
+    fan-out and cache capacity (results are invariant to both; only wall
+    time and cache accounting change).
+    """
+    scale = FULL_SCALE if os.environ.get("REPRO_FULL") == "1" else CI_SCALE
+    overrides = {}
+    if os.environ.get("REPRO_WORKERS"):
+        overrides["search_workers"] = max(1, int(os.environ["REPRO_WORKERS"]))
+    if os.environ.get("REPRO_CACHE"):
+        overrides["sim_cache_size"] = max(0, int(os.environ["REPRO_CACHE"]))
+    return replace(scale, **overrides) if overrides else scale
 
 
 def cluster(kind: str, num_gpus: int) -> DeviceTopology:

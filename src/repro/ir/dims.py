@@ -108,6 +108,12 @@ class TensorShape:
     def __setattr__(self, name: str, value: object) -> None:  # immutability guard
         raise AttributeError("TensorShape is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot restoration;
+        # rebuild through the constructor instead (needed to ship operator
+        # graphs to parallel-search worker processes).
+        return (TensorShape, (self._dims, self.dtype_bytes))
+
     @classmethod
     def of(cls, dtype_bytes: int = 4, /, **dims: int) -> "TensorShape":
         """Build a shape from keyword dimension sizes, in keyword order."""

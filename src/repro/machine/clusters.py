@@ -9,9 +9,15 @@
 Bandwidths use published per-direction figures; what matters for
 reproducing the paper's *shape* is the compute-to-communication ratio and
 the intra- vs inter-node gap, both of which these numbers preserve.
+
+Link policies are module-level callables (not closures) so topologies can
+be pickled into the parallel-search worker processes
+(:mod:`repro.search.parallel`).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.machine.device import Device, spec_for
 from repro.machine.topology import DeviceTopology
@@ -36,6 +42,49 @@ def _grid_devices(num_nodes: int, gpus_per_node: int, spec_key: str) -> list[Dev
     return devices
 
 
+@dataclass(frozen=True)
+class _P100Policy:
+    def __call__(self, a: Device, b: Device) -> tuple:
+        if a.node == b.node:
+            return (*NVLINK, "nvlink", None)
+        return (*IB_EDR, "ib-edr", ("ib", a.node, b.node))
+
+
+@dataclass(frozen=True)
+class _K80Policy:
+    def __call__(self, a: Device, b: Device) -> tuple:
+        if a.node == b.node:
+            if a.index_on_node // 2 == b.index_on_node // 2:
+                return (*PCIE_DEDICATED, "pcie-switch", None)
+            # Non-adjacent GPUs cross the host's shared PCIe fabric (one
+            # path per node and direction).
+            return (*PCIE_SHARED, "pcie-shared", ("pcie", a.node, a.did < b.did))
+        return (*IB_FDR, "ib-fdr", ("ib", a.node, b.node))
+
+
+@dataclass(frozen=True)
+class _UniformLinkPolicy:
+    bandwidth_gbps: float
+    latency_us: float
+    label: str
+
+    def __call__(self, a: Device, b: Device) -> tuple:
+        return (self.bandwidth_gbps, self.latency_us, self.label, None)
+
+
+@dataclass(frozen=True)
+class _TwoTierPolicy:
+    intra_gbps: float
+    intra_lat_us: float
+    inter_gbps: float
+    inter_lat_us: float
+
+    def __call__(self, a: Device, b: Device) -> tuple:
+        if a.node == b.node:
+            return (self.intra_gbps, self.intra_lat_us, "intra", None)
+        return (self.inter_gbps, self.inter_lat_us, "inter", ("inter", a.node, b.node))
+
+
 def p100_cluster(num_nodes: int = 4, gpus_per_node: int = 4) -> DeviceTopology:
     """The paper's P100 cluster: NVLink within a node, EDR IB across nodes.
 
@@ -44,15 +93,9 @@ def p100_cluster(num_nodes: int = 4, gpus_per_node: int = 4) -> DeviceTopology:
     "Network" box of Figure 6a), so cross-node transfers serialize on one
     communication device per node pair and direction.
     """
-
-    def policy(a: Device, b: Device) -> tuple:
-        if a.node == b.node:
-            return (*NVLINK, "nvlink", None)
-        return (*IB_EDR, "ib-edr", ("ib", a.node, b.node))
-
     return DeviceTopology(
         _grid_devices(num_nodes, gpus_per_node, "p100"),
-        policy,
+        _P100Policy(),
         name=f"p100x{num_nodes * gpus_per_node}",
     )
 
@@ -66,19 +109,9 @@ def k80_cluster(num_nodes: int = 16, gpus_per_node: int = 4) -> DeviceTopology:
     what makes the optimizer prefer placing cooperating tasks on adjacent
     GPUs (Section 8.5, Inception-v3 on K80).
     """
-
-    def policy(a: Device, b: Device) -> tuple:
-        if a.node == b.node:
-            if a.index_on_node // 2 == b.index_on_node // 2:
-                return (*PCIE_DEDICATED, "pcie-switch", None)
-            # Non-adjacent GPUs cross the host's shared PCIe fabric (one
-            # path per node and direction).
-            return (*PCIE_SHARED, "pcie-shared", ("pcie", a.node, a.did < b.did))
-        return (*IB_FDR, "ib-fdr", ("ib", a.node, b.node))
-
     return DeviceTopology(
         _grid_devices(num_nodes, gpus_per_node, "k80"),
-        policy,
+        _K80Policy(),
         name=f"k80x{num_nodes * gpus_per_node}",
     )
 
@@ -86,12 +119,10 @@ def k80_cluster(num_nodes: int = 16, gpus_per_node: int = 4) -> DeviceTopology:
 def single_node(num_gpus: int = 4, spec_key: str = "p100", link: str = "nvlink") -> DeviceTopology:
     """A single compute node with ``num_gpus`` identical GPUs."""
     params = {"nvlink": NVLINK, "pcie": PCIE_DEDICATED}[link]
-
-    def policy(a: Device, b: Device) -> tuple:
-        return (*params, link, None)
-
     return DeviceTopology(
-        _grid_devices(1, num_gpus, spec_key), policy, name=f"{spec_key}x{num_gpus}"
+        _grid_devices(1, num_gpus, spec_key),
+        _UniformLinkPolicy(params[0], params[1], link),
+        name=f"{spec_key}x{num_gpus}",
     )
 
 
@@ -106,14 +137,8 @@ def uniform_cluster(
     name: str | None = None,
 ) -> DeviceTopology:
     """A custom homogeneous cluster; useful for what-if topology studies."""
-
-    def policy(a: Device, b: Device) -> tuple:
-        if a.node == b.node:
-            return (intra_gbps, intra_lat_us, "intra", None)
-        return (inter_gbps, inter_lat_us, "inter", ("inter", a.node, b.node))
-
     return DeviceTopology(
         _grid_devices(num_nodes, gpus_per_node, spec_key),
-        policy,
+        _TwoTierPolicy(intra_gbps, intra_lat_us, inter_gbps, inter_lat_us),
         name=name or f"{spec_key}x{num_nodes * gpus_per_node}",
     )

@@ -1,10 +1,27 @@
 """Execution optimizer (paper Section 6): MCMC search plus exhaustive reference."""
 
+from repro.search.cache import (
+    CacheStats,
+    SimulationCache,
+    config_digest,
+    strategy_fingerprint,
+)
 from repro.search.exhaustive import ExhaustiveResult, exhaustive_search
 from repro.search.mcmc import MCMCConfig, SearchTrace, mcmc_search
 from repro.search.optimizer import OptimizeResult, optimize
+from repro.search.parallel import (
+    DEFAULT_CACHE_SIZE,
+    ChainResult,
+    ChainSpec,
+    default_workers,
+    run_chains,
+)
 
 __all__ = [
+    "CacheStats",
+    "SimulationCache",
+    "config_digest",
+    "strategy_fingerprint",
     "ExhaustiveResult",
     "exhaustive_search",
     "MCMCConfig",
@@ -12,4 +29,9 @@ __all__ = [
     "mcmc_search",
     "OptimizeResult",
     "optimize",
+    "DEFAULT_CACHE_SIZE",
+    "ChainResult",
+    "ChainSpec",
+    "default_workers",
+    "run_chains",
 ]

@@ -1,0 +1,186 @@
+"""Strategy fingerprints and the bounded strategy-evaluation cache.
+
+The MCMC search re-proposes previously simulated strategies constantly:
+with low acceptance rates the chain sits at one strategy for many
+iterations, and per-op configuration spaces are small enough that the
+same proposal recurs.  Since canonical tie-breaking made the simulated
+cost a *pure function* of ``(graph, topology, strategy, training)`` (see
+:mod:`repro.sim.full_sim`), those re-evaluations can be answered from a
+cache keyed by the strategy alone -- skipping both the apply and the undo
+simulation of a rejected proposal.
+
+Fingerprints are *stable* hashes: built from BLAKE2b digests of each
+``(op id, ParallelConfig)`` pair and combined with XOR, so they are
+
+* independent of the dict order in which a :class:`Strategy` stores its
+  configs (XOR commutes);
+* identical across processes and interpreter runs (no dependence on
+  ``PYTHONHASHSEED`` -- required for the multi-process search
+  orchestrator to share or compare cache accounting);
+* updatable in O(group size) per MCMC proposal: XOR out the digests of
+  the reconfigured ops, XOR in the new ones (:class:`FingerprintTracker`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.soap.config import ParallelConfig
+from repro.soap.strategy import Strategy
+
+__all__ = [
+    "config_digest",
+    "strategy_fingerprint",
+    "FingerprintTracker",
+    "CacheStats",
+    "SimulationCache",
+]
+
+_DIGEST_BYTES = 16  # 128-bit digests: collisions are negligible at any cache size
+
+
+def config_digest(op_id: int, cfg: ParallelConfig) -> int:
+    """A stable 128-bit digest of one op's parallelization configuration."""
+    h = hashlib.blake2b(digest_size=_DIGEST_BYTES)
+    h.update(repr((op_id, cfg.degrees, cfg.devices)).encode())
+    return int.from_bytes(h.digest(), "big")
+
+
+def strategy_fingerprint(strategy: Strategy) -> int:
+    """Canonical fingerprint of a whole strategy.
+
+    XOR of the per-op config digests: insensitive to the iteration order
+    of the strategy's underlying dict, sensitive to any single-op
+    configuration change (up to 128-bit digest collisions).
+    """
+    fp = 0
+    for oid, cfg in strategy.items():
+        fp ^= config_digest(oid, cfg)
+    return fp
+
+
+class FingerprintTracker:
+    """Incrementally maintained fingerprint of a mutating strategy.
+
+    ``propose`` computes the fingerprint the strategy *would* have after
+    reconfiguring a set of ops without touching the tracked state;
+    ``commit`` makes a proposed update current.  Cost per proposal is
+    O(|ops changed|) instead of O(|strategy|).
+    """
+
+    __slots__ = ("_digests", "fingerprint")
+
+    def __init__(self, strategy: Strategy):
+        self._digests: dict[int, int] = {
+            oid: config_digest(oid, cfg) for oid, cfg in strategy.items()
+        }
+        fp = 0
+        for d in self._digests.values():
+            fp ^= d
+        self.fingerprint = fp
+
+    def propose(self, op_ids: Iterable[int], cfg: ParallelConfig) -> tuple[int, dict[int, int]]:
+        """Fingerprint after setting every op in ``op_ids`` to ``cfg``.
+
+        Returns ``(fingerprint, new_digests)``; pass ``new_digests`` to
+        :meth:`commit` to adopt the proposal.
+        """
+        fp = self.fingerprint
+        new_digests: dict[int, int] = {}
+        for oid in op_ids:
+            d = config_digest(oid, cfg)
+            new_digests[oid] = d
+            fp ^= self._digests[oid] ^ d
+        return fp, new_digests
+
+    def commit(self, fingerprint: int, new_digests: dict[int, int]) -> None:
+        self._digests.update(new_digests)
+        self.fingerprint = fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`SimulationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate accounting across chains/workers (sizes are summed)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            size=self.size + other.size,
+            capacity=max(self.capacity, other.capacity),
+        )
+
+
+class SimulationCache:
+    """Bounded LRU map from strategy fingerprint to simulated cost (us).
+
+    A ``capacity`` of 0 disables the cache entirely: every ``get`` misses
+    and ``put`` is a no-op, so search behaviour (which is byte-identical
+    cached or uncached -- costs are pure functions of the strategy) can be
+    compared directly against the cached run's accounting.
+    """
+
+    __slots__ = ("capacity", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[int, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, fingerprint: int) -> float | None:
+        """Cached cost for ``fingerprint``, or ``None``; counts the lookup."""
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        cost = self._data.get(fingerprint)
+        if cost is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(fingerprint)
+        self.hits += 1
+        return cost
+
+    def put(self, fingerprint: int, cost_us: float) -> None:
+        if self.capacity == 0:
+            return
+        if fingerprint in self._data:
+            self._data.move_to_end(fingerprint)
+        self._data[fingerprint] = cost_us
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            capacity=self.capacity,
+        )

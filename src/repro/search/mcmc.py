@@ -7,12 +7,25 @@ uniformly at random and replaces its configuration with one drawn
 uniformly from that op's configuration space -- symmetric by construction
 (Section 6.2), so the Hastings correction vanishes.
 
-Each proposal is evaluated through the live :class:`~repro.sim.Simulator`:
-the task graph is spliced incrementally and the timeline repaired by the
+Each proposal is evaluated *speculatively* through the live
+:class:`~repro.sim.Simulator` (:meth:`~repro.sim.Simulator.propose`): the
+task graph is spliced incrementally and the timeline repaired by the
 delta algorithm (or rebuilt by the full algorithm, for the Table 4 / Fig.
-12 comparisons).  Rejected proposals are undone by splicing the previous
-configuration back -- the delta algorithm guarantees the restored timeline
-is identical to the pre-proposal one.
+12 comparisons).  Accepted proposals are committed; rejected proposals
+are reverted from a snapshot (a timeline copy plus a structural splice
+undo), which restores the exact pre-proposal state *without* the undo
+re-simulation the apply-then-undo scheme needed -- at low acceptance
+rates that halves the simulator work per rejected proposal.
+
+When a :class:`~repro.search.cache.SimulationCache` is supplied, each
+proposal's strategy fingerprint is looked up *before* invoking the
+simulator.  Because the simulated cost is a pure function of the strategy
+(canonical tie-breaking, see :mod:`repro.sim.full_sim`), a cache hit on a
+*rejected* proposal skips both the apply and the undo simulation; a hit
+on an *accepted* proposal still applies the change once to keep the live
+timeline current.  Cached and uncached chains take identical accept /
+reject decisions and return identical results -- the cache only removes
+redundant simulator work.
 """
 
 from __future__ import annotations
@@ -20,9 +33,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro.search.cache import FingerprintTracker, SimulationCache
 from repro.sim.simulator import Simulator
 from repro.soap.space import ConfigSpace
 from repro.soap.strategy import Strategy
@@ -45,9 +60,16 @@ class MCMCConfig:
     time_budget_s: float | None = None
     # Stop when no improvement has been seen for this fraction of the
     # elapsed budget (Section 6.2's criterion (2): "cannot further improve
-    # ... for half of the search time").
-    no_improve_frac: float = 0.5
+    # ... for half of the search time").  ``None`` disables the stall
+    # check entirely: the chain then terminates on ``iterations`` (or
+    # ``time_budget_s``) alone.
+    no_improve_frac: float | None = 0.5
     seed: int = 0
+    # Record a (iteration, best_cost_us, elapsed_s) checkpoint into the
+    # trace every this-many iterations (0 disables periodic checkpoints;
+    # a final checkpoint is always recorded).  Checkpoints survive the
+    # trip back from parallel-search worker processes and drive Figure 12.
+    checkpoint_every: int = 0
 
 
 @dataclass
@@ -59,26 +81,55 @@ class SearchTrace:
     times_s: list[float] = field(default_factory=list)  # wall-clock per iteration
     accepted: int = 0
     proposed: int = 0
+    simulations: int = 0  # actual simulator invocations (< 2*proposed with a cache)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    checkpoints: list[tuple[int, float, float]] = field(default_factory=list)
+    stop_reason: str = "iterations"
 
     def record(self, cost: float, best: float, t: float) -> None:
         self.costs.append(cost)
         self.best_costs.append(best)
         self.times_s.append(t)
 
+    def checkpoint(self, iteration: int, best: float, t: float) -> None:
+        self.checkpoints.append((iteration, best, t))
+
     @property
     def acceptance_rate(self) -> float:
         return self.accepted / self.proposed if self.proposed else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
 
 def mcmc_search(
     simulator: Simulator,
     space: ConfigSpace,
     config: MCMCConfig,
+    cache: SimulationCache | None = None,
+    should_stop: Callable[[], bool] | None = None,
+    on_improve: Callable[[float], None] | None = None,
 ) -> tuple[Strategy, float, SearchTrace]:
     """Run one Markov chain from the simulator's current strategy.
 
     Returns ``(best_strategy, best_cost_us, trace)``.  The simulator is
     left at the final (not necessarily best) state of the chain.
+
+    Parameters
+    ----------
+    cache:
+        Optional strategy-evaluation cache consulted before each
+        simulation.  Does not change search results, only skips work.
+    should_stop:
+        Polled once per iteration; returning ``True`` terminates the
+        chain (used by the parallel orchestrator to broadcast an
+        early-stop across chains).
+    on_improve:
+        Called with the new best cost whenever the chain improves its
+        best-so-far (used to publish progress to sibling chains).
     """
     rng = np.random.default_rng(config.seed)
     graph = simulator.graph
@@ -89,20 +140,33 @@ def mcmc_search(
     best_strategy = simulator.strategy.copy()
     beta = config.beta_scale / max(current_cost, 1e-9)
 
+    tracker: FingerprintTracker | None = None
+    if cache is not None:
+        tracker = FingerprintTracker(simulator.strategy)
+        cache.put(tracker.fingerprint, current_cost)
+
     trace = SearchTrace()
     t0 = time.perf_counter()
     last_improve_t = 0.0
     last_improve_iter = 0
+    it = 0
 
     for it in range(config.iterations):
         elapsed = time.perf_counter() - t0
         if config.time_budget_s is not None and elapsed >= config.time_budget_s:
+            trace.stop_reason = "time_budget"
             break
         # Criterion (2): half the search time without improvement.
-        if config.time_budget_s is not None:
-            if elapsed - last_improve_t >= config.no_improve_frac * config.time_budget_s:
+        if config.no_improve_frac is not None:
+            if config.time_budget_s is not None:
+                if elapsed - last_improve_t >= config.no_improve_frac * config.time_budget_s:
+                    trace.stop_reason = "stall"
+                    break
+            elif it - last_improve_iter >= max(1, int(config.no_improve_frac * config.iterations)):
+                trace.stop_reason = "stall"
                 break
-        elif it - last_improve_iter >= max(1, int(config.no_improve_frac * config.iterations)):
+        if should_stop is not None and should_stop():
+            trace.stop_reason = "early_stop"
             break
 
         op_id = int(op_ids[int(rng.integers(0, len(op_ids)))])
@@ -110,21 +174,73 @@ def mcmc_search(
         new_cfg = space.random_config(op_id, rng)
         trace.proposed += 1
 
-        new_cost = simulator.reconfigure(op_id, new_cfg)
-        accept = new_cost <= current_cost or rng.random() < math.exp(
-            -beta * (new_cost - current_cost)
-        )
-        if accept:
+        if new_cfg == old_cfg:
+            # Identity proposal: the proposed strategy *is* the current
+            # one, so the cache answers it (a guaranteed hit unless the
+            # entry was evicted).  Always accepted (equal cost), no work.
+            if cache is not None and tracker is not None:
+                hit = cache.get(tracker.fingerprint)
+                if hit is None:
+                    trace.cache_misses += 1
+                    cache.put(tracker.fingerprint, current_cost)
+                else:
+                    trace.cache_hits += 1
             trace.accepted += 1
-            current_cost = new_cost
-            if new_cost < best_cost:
-                best_cost = new_cost
-                best_strategy = simulator.strategy.copy()
-                last_improve_t = time.perf_counter() - t0
-                last_improve_iter = it
         else:
-            simulator.reconfigure(op_id, old_cfg)
+            proposal = None
+            cached_cost = None
+            if cache is not None and tracker is not None:
+                members = graph.group_members(op_id)
+                fp_new, new_digests = tracker.propose(members, new_cfg)
+                proposal = (fp_new, new_digests)
+                cached_cost = cache.get(fp_new)
+                if cached_cost is None:
+                    trace.cache_misses += 1
+                else:
+                    trace.cache_hits += 1
+
+            if cached_cost is not None:
+                new_cost = cached_cost
+                simulated = False
+            else:
+                new_cost = simulator.propose(op_id, new_cfg)
+                trace.simulations += 1
+                simulated = True
+                if cache is not None and proposal is not None:
+                    cache.put(proposal[0], new_cost)
+
+            accept = new_cost <= current_cost or rng.random() < math.exp(
+                -beta * (new_cost - current_cost)
+            )
+            if accept:
+                if simulated:
+                    simulator.commit()
+                else:
+                    # The decision came from the cache; the live timeline
+                    # still has to advance to the accepted strategy.
+                    simulator.propose(op_id, new_cfg)
+                    simulator.commit()
+                    trace.simulations += 1
+                trace.accepted += 1
+                current_cost = new_cost
+                if tracker is not None and proposal is not None:
+                    tracker.commit(*proposal)
+                if new_cost < best_cost:
+                    best_cost = new_cost
+                    best_strategy = simulator.strategy.copy()
+                    last_improve_t = time.perf_counter() - t0
+                    last_improve_iter = it
+                    if on_improve is not None:
+                        on_improve(best_cost)
+            elif simulated:
+                # Snapshot restore: no undo simulation.  A cache hit never
+                # touched the simulator, so there is nothing to revert.
+                simulator.revert()
 
         trace.record(current_cost, best_cost, time.perf_counter() - t0)
+        if config.checkpoint_every > 0 and (it + 1) % config.checkpoint_every == 0:
+            trace.checkpoint(it + 1, best_cost, time.perf_counter() - t0)
 
+    if not trace.checkpoints or trace.checkpoints[-1][0] != len(trace.costs):
+        trace.checkpoint(len(trace.costs), best_cost, time.perf_counter() - t0)
     return best_strategy, best_cost, trace

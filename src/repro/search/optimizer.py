@@ -5,6 +5,14 @@ existing strategies (data parallelism by default, optionally the expert
 strategy) plus randomly generated strategies, runs each chain until its
 budget is exhausted or it stalls, and returns the best strategy any chain
 discovered.
+
+Chains execute through the parallel orchestrator
+(:mod:`repro.search.parallel`): ``workers=1`` runs them sequentially
+in-process, ``workers>1`` fans them out over a process pool.  Results are
+identical either way (per-chain seeded RNG + pure-function costs); each
+worker consults a bounded strategy-evaluation cache
+(:mod:`repro.search.cache`) whose hit/miss totals are surfaced on
+:class:`OptimizeResult`.
 """
 
 from __future__ import annotations
@@ -18,8 +26,9 @@ from repro.ir.graph import OperatorGraph
 from repro.machine.topology import DeviceTopology
 from repro.profiler.profiler import OpProfiler
 from repro.sim.metrics import IterationMetrics, throughput_samples_per_sec
-from repro.sim.simulator import Simulator, simulate_strategy
-from repro.search.mcmc import MCMCConfig, SearchTrace, mcmc_search
+from repro.sim.simulator import simulate_strategy
+from repro.search.mcmc import MCMCConfig, SearchTrace
+from repro.search.parallel import DEFAULT_CACHE_SIZE, ChainResult, ChainSpec, run_chains
 from repro.soap.presets import data_parallelism, expert_strategy
 from repro.soap.space import ConfigSpace
 from repro.soap.strategy import Strategy
@@ -38,10 +47,19 @@ class OptimizeResult:
     init_costs: dict[str, float] = field(default_factory=dict)
     wall_time_s: float = 0.0
     simulations: int = 0
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    chains: list[ChainResult] = field(default_factory=list)
 
     @property
     def simulations_per_sec(self) -> float:
         return self.simulations / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def throughput(self, batch: int) -> float:
         return throughput_samples_per_sec(batch, self.best_cost_us)
@@ -50,7 +68,10 @@ class OptimizeResult:
         lines = [
             f"best per-iteration time: {self.best_cost_us / 1e3:.3f} ms",
             f"search wall time: {self.wall_time_s:.2f} s "
-            f"({self.simulations} simulations, {self.simulations_per_sec:.0f}/s)",
+            f"({self.simulations} simulations, {self.simulations_per_sec:.0f}/s, "
+            f"{self.workers} worker(s))",
+            f"evaluation cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.cache_hit_rate:.1%} hit rate)",
         ]
         for name, c in self.init_costs.items():
             speedup = c / self.best_cost_us if self.best_cost_us > 0 else float("inf")
@@ -69,6 +90,10 @@ def optimize(
     algorithm: str = "delta",
     beta_scale: float = 50.0,
     training: bool = True,
+    workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    early_stop_cost: float | None = None,
+    checkpoint_every: int = 0,
 ) -> OptimizeResult:
     """Find a fast parallelization strategy for ``graph`` on ``topology``.
 
@@ -86,48 +111,95 @@ def optimize(
     algorithm:
         ``"delta"`` (Algorithm 2) or ``"full"`` (Algorithm 1) simulation
         inside the chain.
+    workers:
+        Process count for chain fan-out.  The best strategy/cost is
+        independent of ``workers`` for a fixed ``seed``.
+    cache_size:
+        Capacity of each worker's strategy-evaluation cache (0 disables
+        caching; results are unchanged, only wall time).
+    early_stop_cost:
+        Optional target cost: once any chain's best reaches it, the
+        remaining chains stop early (see :mod:`repro.search.parallel`
+        for the determinism trade-off).
+    checkpoint_every:
+        Checkpoint cadence recorded into each chain's ``SearchTrace``.
     """
     profiler = profiler or OpProfiler()
+    workers = max(1, workers)
     space = ConfigSpace(graph, topology)
     rng = np.random.default_rng(seed)
 
     candidates: dict[str, Strategy] = {}
+    kind_counts: dict[str, int] = {}
     for kind in inits:
         if kind == "data_parallel":
-            candidates["data_parallel"] = data_parallelism(graph, topology)
+            strat = data_parallelism(graph, topology)
         elif kind == "expert":
-            candidates["expert"] = expert_strategy(graph, topology)
+            strat = expert_strategy(graph, topology)
         elif kind == "random":
-            candidates["random"] = space.random_strategy(rng)
+            strat = space.random_strategy(rng)
         else:
             raise ValueError(f"unknown init {kind!r}")
+        # Repeated kinds (e.g. one random chain per worker) get numbered
+        # names so every occurrence becomes its own chain.
+        n = kind_counts.get(kind, 0)
+        kind_counts[kind] = n + 1
+        candidates[kind if n == 0 else f"{kind}_{n + 1}"] = strat
+
+    specs = [
+        ChainSpec(
+            name=name,
+            init=init,
+            config=MCMCConfig(
+                beta_scale=beta_scale,
+                iterations=budget_iters,
+                time_budget_s=time_budget_s,
+                seed=seed + 1000 * chain_idx,
+                checkpoint_every=checkpoint_every,
+            ),
+        )
+        for chain_idx, (name, init) in enumerate(candidates.items())
+    ]
+
+    t0 = time.perf_counter()
+    results = run_chains(
+        graph,
+        topology,
+        specs,
+        profiler,
+        workers=workers,
+        cache_size=cache_size,
+        algorithm=algorithm,
+        training=training,
+        early_stop_cost=early_stop_cost,
+    )
+    wall = time.perf_counter() - t0
 
     best_strategy: Strategy | None = None
     best_cost = float("inf")
     traces: dict[str, SearchTrace] = {}
     init_costs: dict[str, float] = {}
     simulations = 0
-    t0 = time.perf_counter()
-
-    for chain_idx, (name, init) in enumerate(candidates.items()):
-        sim = Simulator(graph, topology, init, profiler, training=training, algorithm=algorithm)
-        init_costs[name] = sim.cost
-        cfg = MCMCConfig(
-            beta_scale=beta_scale,
-            iterations=budget_iters,
-            time_budget_s=time_budget_s,
-            seed=seed + 1000 * chain_idx,
-        )
-        strategy, cost, trace = mcmc_search(sim, space, cfg)
-        traces[name] = trace
-        simulations += trace.proposed * 2 - trace.accepted  # rejected proposals sim twice
-        if cost < best_cost:
-            best_cost = cost
-            best_strategy = strategy
+    cache_hits = 0
+    cache_misses = 0
+    for r in results:
+        if r.skipped:
+            continue
+        traces[r.name] = r.trace
+        init_costs[r.name] = r.init_cost_us
+        simulations += r.trace.simulations + 1  # +1: the chain's init simulation
+        cache_hits += r.trace.cache_hits
+        cache_misses += r.trace.cache_misses
+        if r.best_cost_us < best_cost:
+            best_cost = r.best_cost_us
+            best_strategy = r.best_strategy
 
     assert best_strategy is not None, "optimize() requires at least one init"
-    wall = time.perf_counter() - t0
     metrics = simulate_strategy(graph, topology, best_strategy, profiler, training=training)
+    # Report the worker count actually observed (distinct processes that
+    # ran chains), not the request: run_chains clamps to the chain count
+    # and falls back to in-process execution on unpicklable inputs.
+    observed_workers = len({r.worker_pid for r in results}) or 1
     return OptimizeResult(
         best_strategy=best_strategy,
         best_cost_us=best_cost,
@@ -136,4 +208,8 @@ def optimize(
         init_costs=init_costs,
         wall_time_s=wall,
         simulations=simulations,
+        workers=observed_workers,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        chains=results,
     )

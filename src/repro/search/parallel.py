@@ -1,0 +1,304 @@
+"""Parallel multi-chain search orchestration.
+
+The execution optimizer (Section 6.2) runs independent MCMC chains from
+multiple initial strategies.  This module fans those chains out over a
+``concurrent.futures`` process pool so search wall-time stops growing
+linearly with chain count, while keeping results bit-for-bit reproducible.
+
+Determinism guarantees
+----------------------
+1. **Per-chain seeded RNG.**  Every :class:`ChainSpec` carries its own
+   :class:`~repro.search.mcmc.MCMCConfig` seed; a chain's random stream
+   never depends on scheduling, worker count, or sibling chains.
+2. **Pure-function costs.**  Canonical tie-breaking in the simulators
+   (see :mod:`repro.sim.full_sim`) makes the simulated cost of a strategy
+   independent of the mutation path that reached it, so a chain computes
+   the same trajectory in any process.
+3. **Result-neutral caching.**  The per-worker
+   :class:`~repro.search.cache.SimulationCache` only skips redundant
+   simulations; accept/reject decisions are unchanged.  Cache *hit
+   accounting* may vary with scheduling (chains co-located in one worker
+   share its cache), the search results never do.
+4. **Opt-in early stop.**  With ``early_stop_cost=None`` (the default)
+   every chain runs to its own budget and
+   ``run_chains(..., workers=1)`` and ``run_chains(..., workers=k)``
+   return identical :class:`ChainResult` contents for any ``k``.  Setting
+   a target cost broadcasts the global best between chains through shared
+   memory and stops chains (and skips not-yet-started ones) once the
+   target is met -- the returned best still meets the target, but which
+   chain found it first may vary with timing.
+
+Worker processes receive the pickled ``(graph, topology, profiler)``
+triple and rebuild their own live :class:`~repro.sim.Simulator`; if any
+of those objects cannot be pickled the orchestrator transparently falls
+back to the deterministic in-process path (with a ``RuntimeWarning``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import multiprocessing as mp
+
+from repro.ir.graph import OperatorGraph
+from repro.machine.topology import DeviceTopology
+from repro.profiler.profiler import OpProfiler
+from repro.search.cache import CacheStats, SimulationCache
+from repro.search.mcmc import MCMCConfig, SearchTrace, mcmc_search
+from repro.sim.simulator import Simulator
+from repro.soap.space import ConfigSpace
+from repro.soap.strategy import Strategy
+
+__all__ = ["DEFAULT_CACHE_SIZE", "ChainSpec", "ChainResult", "run_chains", "default_workers"]
+
+DEFAULT_CACHE_SIZE = 4096
+
+# How many should_stop() polls to answer from the last shared-memory read
+# before re-reading the cross-process best (keeps lock traffic off the
+# per-iteration hot path).
+_POLL_STRIDE = 8
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` or the machine's CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """One chain: a name, an initial strategy, and its MCMC budget/seed."""
+
+    name: str
+    init: Strategy
+    config: MCMCConfig
+
+
+@dataclass
+class ChainResult:
+    """Outcome of one chain (picklable: travels back from workers)."""
+
+    name: str
+    best_strategy: Strategy
+    best_cost_us: float
+    init_cost_us: float
+    trace: SearchTrace = field(default_factory=SearchTrace)
+    wall_time_s: float = 0.0
+    # This chain's *own* cache activity (a delta, not the shared per-worker
+    # cache's cumulative totals -- chains co-located in one worker share a
+    # cache, so snapshots would double-count).
+    cache: CacheStats = field(default_factory=CacheStats)
+    skipped: bool = False  # early-stop target met before the chain started
+    worker_pid: int = 0  # process that ran the chain (observed, not requested)
+
+
+# -- worker-side state ---------------------------------------------------------
+# Populated by the pool initializer in each worker process.  The cache is
+# shared by every chain that lands in this worker (sound: costs are pure
+# functions of the strategy); the Value broadcasts the global best cost.
+# The (graph, topology, profiler, ...) environment is pickled once in the
+# parent and lazily unpickled once per worker -- per-task payloads carry
+# only the small ChainSpec.
+_shared_best: "mp.sharedctypes.Synchronized | None" = None
+_worker_cache: SimulationCache | None = None
+_env_bytes: bytes | None = None
+_env: tuple | None = None
+
+
+def _init_worker(shared_best, cache_size: int, env_bytes: bytes) -> None:
+    global _shared_best, _worker_cache, _env_bytes, _env
+    _shared_best = shared_best
+    # capacity 0 = caching off: skip fingerprint bookkeeping entirely.
+    _worker_cache = SimulationCache(cache_size) if cache_size > 0 else None
+    _env_bytes = env_bytes
+    _env = None
+
+
+def _publish_best(shared_best, cost: float) -> None:
+    if shared_best is None:
+        return
+    with shared_best.get_lock():
+        if cost < shared_best.value:
+            shared_best.value = cost
+
+
+def _run_one_chain(
+    graph: OperatorGraph,
+    topology: DeviceTopology,
+    profiler: OpProfiler,
+    spec: ChainSpec,
+    cache: SimulationCache | None,
+    shared_best,
+    algorithm: str,
+    training: bool,
+    early_stop_cost: float | None,
+) -> ChainResult:
+    """Run one chain against a fresh simulator (any process)."""
+    t0 = time.perf_counter()
+    if early_stop_cost is not None and shared_best is not None:
+        with shared_best.get_lock():
+            if shared_best.value <= early_stop_cost:
+                return ChainResult(
+                    name=spec.name,
+                    best_strategy=spec.init,
+                    best_cost_us=float("inf"),
+                    init_cost_us=float("inf"),
+                    skipped=True,
+                    worker_pid=os.getpid(),
+                )
+    cache_before = cache.stats() if cache is not None else CacheStats()
+
+    sim = Simulator(graph, topology, spec.init, profiler, training=training, algorithm=algorithm)
+    init_cost = sim.cost
+    _publish_best(shared_best, init_cost)
+
+    should_stop = None
+    if early_stop_cost is not None and shared_best is not None:
+        polls = {"n": 0, "stop": False}
+
+        def should_stop() -> bool:
+            if polls["stop"]:
+                return True
+            polls["n"] += 1
+            if polls["n"] % _POLL_STRIDE == 0:
+                with shared_best.get_lock():
+                    polls["stop"] = shared_best.value <= early_stop_cost
+            return polls["stop"]
+
+    def on_improve(cost: float) -> None:
+        _publish_best(shared_best, cost)
+
+    space = ConfigSpace(graph, topology)
+    best_strategy, best_cost, trace = mcmc_search(
+        sim, space, spec.config, cache=cache, should_stop=should_stop, on_improve=on_improve
+    )
+    if cache is not None:
+        after = cache.stats()
+        cache_delta = CacheStats(
+            hits=after.hits - cache_before.hits,
+            misses=after.misses - cache_before.misses,
+            evictions=after.evictions - cache_before.evictions,
+            size=after.size,
+            capacity=after.capacity,
+        )
+    else:
+        cache_delta = CacheStats()
+    return ChainResult(
+        name=spec.name,
+        best_strategy=best_strategy,
+        best_cost_us=best_cost,
+        init_cost_us=init_cost,
+        trace=trace,
+        wall_time_s=time.perf_counter() - t0,
+        cache=cache_delta,
+        worker_pid=os.getpid(),
+    )
+
+
+def _chain_task(spec: ChainSpec) -> ChainResult:
+    """Pool entry point: rebuild the shared environment once, run the chain."""
+    global _env
+    if _env is None:
+        assert _env_bytes is not None, "worker initializer did not run"
+        _env = pickle.loads(_env_bytes)
+    graph, topology, profiler, algorithm, training, early_stop_cost = _env
+    return _run_one_chain(
+        graph,
+        topology,
+        profiler,
+        spec,
+        _worker_cache,
+        _shared_best,
+        algorithm,
+        training,
+        early_stop_cost,
+    )
+
+
+class _LocalBest:
+    """In-process stand-in for the shared-memory best (workers=1 path)."""
+
+    __slots__ = ("value", "_lock")
+
+    class _Noop:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *a):
+            return False
+
+    def __init__(self) -> None:
+        self.value = float("inf")
+        self._lock = self._Noop()
+
+    def get_lock(self):
+        return self._lock
+
+
+def run_chains(
+    graph: OperatorGraph,
+    topology: DeviceTopology,
+    specs: list[ChainSpec],
+    profiler: OpProfiler | None = None,
+    *,
+    workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    algorithm: str = "delta",
+    training: bool = True,
+    early_stop_cost: float | None = None,
+) -> list[ChainResult]:
+    """Run every chain in ``specs``; returns results in spec order.
+
+    ``workers=1`` (or a single spec) runs chains sequentially in-process;
+    ``workers>1`` fans them out over a process pool.  Either way the
+    per-chain results are identical when ``early_stop_cost`` is ``None``
+    (see the module docstring for the determinism argument).
+    """
+    profiler = profiler or OpProfiler()
+    if not specs:
+        raise ValueError("run_chains() requires at least one chain spec")
+    workers = max(1, min(workers, len(specs)))
+
+    if workers > 1:
+        try:
+            # The heavy environment is serialized once for the whole pool;
+            # each task ships only its ChainSpec.
+            env_bytes = pickle.dumps(
+                (graph, topology, profiler, algorithm, training, early_stop_cost)
+            )
+            pickle.dumps(specs)
+        except Exception as exc:  # unpicklable custom graph/topology/profiler
+            warnings.warn(
+                f"parallel search fell back to in-process execution: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+
+    if workers == 1:
+        shared = _LocalBest()
+        cache = SimulationCache(cache_size) if cache_size > 0 else None
+        return [
+            _run_one_chain(
+                graph, topology, profiler, s, cache, shared, algorithm, training, early_stop_cost
+            )
+            for s in specs
+        ]
+
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    shared_best = ctx.Value("d", float("inf"))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(shared_best, cache_size, env_bytes),
+    ) as pool:
+        futures = [pool.submit(_chain_task, s) for s in specs]
+        return [f.result() for f in futures]

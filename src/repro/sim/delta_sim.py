@@ -148,13 +148,14 @@ def delta_simulate(
     dev_last_end: dict[int, float] = {}
     makespan = 0.0
     for dev, lst in order.items():
-        cut_idx = bisect_left(lst, (t_cut, -1))
-        for _, tid in lst[cut_idx:]:
+        cut_idx = bisect_left(lst, (t_cut,))
+        for entry in lst[cut_idx:]:
+            tid = entry[-1]
             if tid in tasks:  # truncated entries of *removed* tasks just vanish
                 suffix.append(tid)
         del lst[cut_idx:]
         if lst:
-            last = end[lst[-1][1]]
+            last = end[lst[-1][-1]]
             dev_last_end[dev] = last
             if last > makespan:
                 makespan = last
@@ -166,7 +167,7 @@ def delta_simulate(
     suffix_set = set(suffix)
 
     # ---- Algorithm 1 over the suffix ----------------------------------------
-    heap: list[tuple[float, int]] = []
+    heap: list[tuple[float, tuple[int, ...], int]] = []
     indeg: dict[int, int] = {}
     sready: dict[int, float] = {}
     for tid in suffix:
@@ -183,12 +184,12 @@ def delta_simulate(
         indeg[tid] = n
         sready[tid] = est
         if n == 0:
-            heap.append((est, tid))
+            heap.append((est, t.ckey, tid))
     heapq.heapify(heap)
 
     scheduled = 0
     while heap:
-        r, tid = heapq.heappop(heap)
+        r, ck, tid = heapq.heappop(heap)
         if r < t_cut:
             # Defensive: contradicts the prefix-safety invariant.
             return _fallback(tg, tl, stats)
@@ -201,7 +202,7 @@ def delta_simulate(
         dev_last_end[t.device] = e
         if e > makespan:
             makespan = e
-        order.setdefault(t.device, []).append((r, tid))
+        order.setdefault(t.device, []).append((r, ck, tid))
         scheduled += 1
         for nxt in t.outs:
             if nxt not in suffix_set:
@@ -210,7 +211,7 @@ def delta_simulate(
                 sready[nxt] = e
             indeg[nxt] -= 1
             if indeg[nxt] == 0:
-                heapq.heappush(heap, (sready[nxt], nxt))
+                heapq.heappush(heap, (sready[nxt], tasks[nxt].ckey, nxt))
 
     if scheduled != len(suffix):
         # A dependency cycle or bookkeeping drift: re-run authoritatively.

@@ -2,10 +2,21 @@
 
 A Dijkstra-style sweep: tasks enter a global priority queue when all
 predecessors have completed and are dequeued in increasing ``readyTime``
-order (ties broken by task id for determinism).  Dequeuing assigns
-``startTime = max(readyTime, device.last.endTime)`` -- devices process
-tasks FIFO by ready time (assumption A3) and begin work as soon as inputs
-are available (assumption A4).
+order (ties broken by the task's *canonical* key, see below).  Dequeuing
+assigns ``startTime = max(readyTime, device.last.endTime)`` -- devices
+process tasks FIFO by ready time (assumption A3) and begin work as soon
+as inputs are available (assumption A4).
+
+Ties are broken by :attr:`~repro.sim.taskgraph.Task.ckey`, a key derived
+from the task's structural identity rather than its creation order.  Task
+*ids* depend on the history of incremental reconfigurations (splices
+allocate fresh ids), so id-based tie-breaking would make the simulated
+makespan depend on the *path* the search took to reach a strategy.  With
+canonical tie-breaking the timeline is a pure function of
+``(operator graph, topology, strategy, training)`` -- the property that
+the strategy-evaluation cache (:mod:`repro.search.cache`) and the
+cross-worker reproducibility of parallel search
+(:mod:`repro.search.parallel`) both rely on.
 """
 
 from __future__ import annotations
@@ -21,12 +32,12 @@ __all__ = ["Timeline", "full_simulate"]
 class Timeline:
     """Simulated schedule: per-task times plus per-device execution order.
 
-    ``device_order[d]`` is the list of ``(readyTime, tid)`` pairs of tasks
-    executed on device ``d``, kept sorted -- which *is* the execution
-    order, because FIFO-by-ready-time with deterministic tie-breaking
-    makes "sorted by (readyTime, tid)" and "execution order" the same
-    thing.  The delta simulator relies on this invariant to maintain the
-    ``preTask``/``nextTask`` chains of Table 2 implicitly.
+    ``device_order[d]`` is the list of ``(readyTime, ckey, tid)`` triples
+    of tasks executed on device ``d``, kept sorted -- which *is* the
+    execution order, because FIFO-by-ready-time with deterministic
+    tie-breaking makes "sorted by (readyTime, ckey)" and "execution order"
+    the same thing.  The delta simulator relies on this invariant to
+    maintain the ``preTask``/``nextTask`` chains of Table 2 implicitly.
     """
 
     __slots__ = ("ready", "start", "end", "device_order", "makespan")
@@ -35,7 +46,7 @@ class Timeline:
         self.ready: dict[int, float] = {}
         self.start: dict[int, float] = {}
         self.end: dict[int, float] = {}
-        self.device_order: dict[int, list[tuple[float, int]]] = {}
+        self.device_order: dict[int, list[tuple[float, tuple[int, ...], int]]] = {}
         self.makespan: float = 0.0
 
     def copy(self) -> "Timeline":
@@ -72,12 +83,12 @@ def full_simulate(tg: TaskGraph) -> Timeline:
     tl = Timeline()
     tasks = tg.tasks
     indeg: dict[int, int] = {}
-    heap: list[tuple[float, int]] = []
+    heap: list[tuple[float, tuple[int, ...], int]] = []
     for tid, t in tasks.items():
         indeg[tid] = len(t.ins)
         if not t.ins:
             tl.ready[tid] = 0.0
-            heap.append((0.0, tid))
+            heap.append((0.0, t.ckey, tid))
     heapq.heapify(heap)
 
     dev_last_end: dict[int, float] = {}
@@ -87,14 +98,14 @@ def full_simulate(tg: TaskGraph) -> Timeline:
     end = tl.end
     order = tl.device_order
     while heap:
-        r, tid = heapq.heappop(heap)
+        r, ck, tid = heapq.heappop(heap)
         t = tasks[tid]
         s = max(r, dev_last_end.get(t.device, 0.0))
         e = s + t.exe_time
         start[tid] = s
         end[tid] = e
         dev_last_end[t.device] = e
-        insort(order.setdefault(t.device, []), (r, tid))
+        insort(order.setdefault(t.device, []), (r, ck, tid))
         scheduled += 1
         for nxt in t.outs:
             nr = ready.get(nxt, 0.0)
@@ -103,7 +114,7 @@ def full_simulate(tg: TaskGraph) -> Timeline:
             ready[nxt] = nr
             indeg[nxt] -= 1
             if indeg[nxt] == 0:
-                heapq.heappush(heap, (nr, nxt))
+                heapq.heappush(heap, (nr, tasks[nxt].ckey, nxt))
 
     if scheduled != len(tasks):
         raise RuntimeError(

@@ -45,6 +45,8 @@ class Simulator:
         self.task_graph = TaskGraph(graph, topology, strategy, self.profiler, training=training)
         self.timeline: Timeline = full_simulate(self.task_graph)
         self.delta_stats = DeltaStats()
+        self.reverts = 0  # snapshot restores that replaced an undo simulation
+        self._pending: Timeline | None = None
 
     @property
     def cost(self) -> float:
@@ -62,6 +64,45 @@ class Simulator:
             delta_simulate(self.task_graph, self.timeline, removed, dirty, self.delta_stats)
         else:
             self.timeline = full_simulate(self.task_graph)
+        return self.timeline.makespan
+
+    # -- speculative reconfiguration ---------------------------------------
+    def propose(self, op_id: int, cfg: ParallelConfig) -> float:
+        """Speculatively apply one configuration change; returns the cost.
+
+        Must be resolved with :meth:`commit` or :meth:`revert` before the
+        next proposal.  ``revert`` restores the exact pre-proposal state
+        from a snapshot -- no re-simulation -- which halves the simulator
+        work of a rejected MCMC proposal compared to apply-then-undo.
+        """
+        if self._pending is not None:
+            raise RuntimeError("previous proposal not resolved (commit or revert first)")
+        # The delta algorithm repairs the timeline in place, so reverting
+        # needs a copy; the full algorithm builds a fresh timeline and the
+        # old object can be kept as-is.
+        saved = self.timeline.copy() if self.algorithm == "delta" else self.timeline
+        removed, dirty = self.task_graph.replace_config(op_id, cfg, keep_record=True)
+        if self.algorithm == "delta":
+            delta_simulate(self.task_graph, self.timeline, removed, dirty, self.delta_stats)
+        else:
+            self.timeline = full_simulate(self.task_graph)
+        self._pending = saved
+        return self.timeline.makespan
+
+    def commit(self) -> None:
+        """Adopt the pending proposal."""
+        if self._pending is None:
+            raise RuntimeError("no pending proposal to commit")
+        self._pending = None
+
+    def revert(self) -> float:
+        """Discard the pending proposal; returns the restored cost (us)."""
+        if self._pending is None:
+            raise RuntimeError("no pending proposal to revert")
+        self.task_graph.undo_last_splice()
+        self.timeline = self._pending
+        self._pending = None
+        self.reverts += 1
         return self.timeline.makespan
 
     def metrics(self) -> IterationMetrics:

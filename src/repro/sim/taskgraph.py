@@ -33,7 +33,7 @@ from repro.profiler.profiler import OpProfiler
 from repro.soap.partition import overlapping_tasks
 from repro.soap.strategy import Strategy
 
-__all__ = ["TaskKind", "Task", "TaskGraph"]
+__all__ = ["TaskKind", "Task", "TaskGraph", "SpliceRecord"]
 
 
 class TaskKind(enum.IntEnum):
@@ -50,12 +50,21 @@ class Task:
     connection id for COMM tasks; both live in one id space so the
     simulator treats them uniformly (Section 5.1: "we treat each hardware
     connection between devices as a communication device").
+
+    ``ckey`` is a *canonical sort key*: a tuple derived from the task's
+    structural identity (which op/edge/sync-group slot it fills), not from
+    creation order.  The simulators break ready-time ties by ``ckey``, so
+    the timeline of a strategy is identical no matter through which
+    sequence of incremental reconfigurations the task graph was reached --
+    the invariant that makes strategy-level simulation caching sound (see
+    :mod:`repro.search.cache`).
     """
 
     tid: int
     kind: TaskKind
     device: int
     exe_time: float
+    ckey: tuple[int, ...] = ()
     op_id: int = -1
     index: int = -1
     backward: bool = False
@@ -63,6 +72,30 @@ class Task:
     conn: Connection | None = None
     ins: list[int] = field(default_factory=list)
     outs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class SpliceRecord:
+    """Everything needed to undo one :meth:`TaskGraph.replace_config`.
+
+    The removed :class:`Task` objects are kept alive with their adjacency
+    lists intact, so an undo re-inserts them and re-attaches only the
+    links to *surviving* neighbors -- no profiler calls, no task
+    rebuilding, and (together with a timeline snapshot, see
+    :meth:`~repro.sim.simulator.Simulator.propose`) no re-simulation.
+    """
+
+    op_id: int
+    members: tuple[int, ...]
+    old_cfg: object  # the members' shared ParallelConfig before the splice
+    removed_tasks: list[Task]
+    added_lo: int  # added task ids are the contiguous range [added_lo, added_hi)
+    added_hi: int
+    fwd_lists: dict[int, list[int]]
+    bwd_lists: dict[int, list[int]]
+    sync_key: str
+    sync_list: list[int]
+    edge_lists: dict[tuple[int, int, int], list[int]]
 
 
 class TaskGraph:
@@ -84,6 +117,7 @@ class TaskGraph:
 
         self.tasks: dict[int, Task] = {}
         self._next_tid = 0
+        self._last_splice: SpliceRecord | None = None
         # Bookkeeping for incremental splicing.  Parameter-sync tasks are
         # keyed by weight-sharing *group*: ops sharing parameters (e.g.
         # unrolled steps of one recurrent layer) synchronize gradients once
@@ -131,6 +165,7 @@ class TaskGraph:
                 kind=TaskKind.NORMAL,
                 device=dev.did,
                 exe_time=self.profiler.task_time(op, region, dev),
+                ckey=(0, oid, k, 0),
                 op_id=oid,
                 index=k,
             )
@@ -140,6 +175,7 @@ class TaskGraph:
                     kind=TaskKind.NORMAL,
                     device=dev.did,
                     exe_time=self.profiler.task_time(op, region, dev, backward=True),
+                    ckey=(0, oid, k, 1),
                     op_id=oid,
                     index=k,
                     backward=True,
@@ -183,6 +219,7 @@ class TaskGraph:
                     kind=TaskKind.COMM,
                     device=conn.cid,
                     exe_time=self.profiler.comm_time(nbytes, conn),
+                    ckey=(1, edge.src, edge.dst, edge.slot, kj, ki, 0),
                     nbytes=nbytes,
                     conn=conn,
                 )
@@ -196,6 +233,7 @@ class TaskGraph:
                         kind=TaskKind.COMM,
                         device=rconn.cid,
                         exe_time=self.profiler.comm_time(nbytes, rconn),
+                        ckey=(1, edge.src, edge.dst, edge.slot, kj, ki, 1),
                         nbytes=nbytes,
                         conn=rconn,
                     )
@@ -234,7 +272,7 @@ class TaskGraph:
 
         created: list[int] = []
         dtype = op0.out_shape.dtype_bytes
-        for task_idxs in replica_sets.values():
+        for shard_idx, task_idxs in enumerate(replica_sets.values()):
             shard_elems = op0.param_shard_volume(cfg.task_region(op0, task_idxs[0]))
             if shard_elems == 0:
                 continue
@@ -245,6 +283,7 @@ class TaskGraph:
                     kind=TaskKind.UPDATE,
                     device=devs[0],
                     exe_time=self.profiler.update_time(shard_elems, self.topology.device(devs[0])),
+                    ckey=(3, members[0], shard_idx, devs[0]),
                     op_id=members[0],
                 )
                 created.append(upd.tid)
@@ -261,6 +300,7 @@ class TaskGraph:
                     kind=TaskKind.COMM,
                     device=conn.cid,
                     exe_time=self.profiler.comm_time(hop_bytes, conn),
+                    ckey=(2, members[0], shard_idx, i),
                     nbytes=hop_bytes,
                     conn=conn,
                     op_id=members[0],
@@ -274,6 +314,7 @@ class TaskGraph:
                     kind=TaskKind.UPDATE,
                     device=d,
                     exe_time=self.profiler.update_time(shard_elems, self.topology.device(d)),
+                    ckey=(3, members[0], shard_idx, d),
                     op_id=members[0],
                 )
                 created.append(upd.tid)
@@ -282,7 +323,9 @@ class TaskGraph:
         self.sync[gkey] = created
 
     # -- incremental reconfiguration -----------------------------------------------
-    def replace_config(self, op_id: int, new_cfg) -> tuple[dict[int, int], set[int]]:
+    def replace_config(
+        self, op_id: int, new_cfg, keep_record: bool = False
+    ) -> tuple[dict[int, int], set[int]]:
         """Splice the configuration of ``op_id``'s weight-sharing group.
 
         Applies ``new_cfg`` to every op sharing ``op_id``'s parameters
@@ -291,6 +334,11 @@ class TaskGraph:
         communication tasks on every adjacent tensor edge, then rebuilds
         them against the (unchanged) neighbor configurations.  This is
         ``UpdateTaskGraph`` from Algorithm 2.
+
+        With ``keep_record=True`` the splice additionally stores a
+        :class:`SpliceRecord` so :meth:`undo_last_splice` can restore the
+        pre-splice graph without rebuilding any task (the speculative
+        propose/revert fast path of the MCMC search).
 
         Returns
         -------
@@ -327,6 +375,29 @@ class TaskGraph:
         for e in touched_edges:
             removed_ids.update(self.edge_tasks.get((e.src, e.dst, e.slot), ()))
 
+        record: SpliceRecord | None = None
+        if keep_record:
+            # Saved *before* any mutation: the Task objects keep their
+            # adjacency lists (only surviving neighbors' lists are edited
+            # below), and the bookkeeping lists are replaced wholesale by
+            # the rebuild, so holding references is enough.
+            record = SpliceRecord(
+                op_id=op_id,
+                members=members,
+                old_cfg=self.strategy[members[0]],
+                removed_tasks=[self.tasks[tid] for tid in removed_ids],
+                added_lo=self._next_tid,
+                added_hi=self._next_tid,
+                fwd_lists={m: self.fwd[m] for m in members},
+                bwd_lists={m: self.bwd[m] for m in members},
+                sync_key=gkey,
+                sync_list=self.sync[gkey],
+                edge_lists={
+                    (e.src, e.dst, e.slot): self.edge_tasks.get((e.src, e.dst, e.slot), [])
+                    for e in touched_edges
+                },
+            )
+
         removed: dict[int, int] = {tid: self.tasks[tid].device for tid in removed_ids}
         dirty: set[int] = set()
         for tid in removed_ids:
@@ -359,7 +430,54 @@ class TaskGraph:
         self._make_sync(gkey, members)
         dirty.update(self.sync[gkey])
         dirty -= removed.keys()
+        if record is not None:
+            record.added_hi = self._next_tid
+        self._last_splice = record
         return removed, dirty
+
+    def undo_last_splice(self) -> None:
+        """Restore the graph to its state before the last recorded splice.
+
+        Inverse of a ``replace_config(..., keep_record=True)``: pops the
+        tasks that splice added, re-inserts the saved :class:`Task`
+        objects, re-attaches their links to surviving neighbors, and
+        restores the bookkeeping lists and the strategy.  Valid exactly
+        once, immediately after the recorded splice (before any further
+        ``replace_config``).
+        """
+        rec = self._last_splice
+        if rec is None:
+            raise RuntimeError("no recorded splice to undo")
+        self._last_splice = None
+
+        added: list[Task] = [self.tasks.pop(tid) for tid in range(rec.added_lo, rec.added_hi)]
+        for t in added:
+            for p in t.ins:
+                surv = self.tasks.get(p)
+                if surv is not None:
+                    surv.outs.remove(t.tid)
+            for s in t.outs:
+                surv = self.tasks.get(s)
+                if surv is not None:
+                    surv.ins.remove(t.tid)
+
+        removed_set = {t.tid for t in rec.removed_tasks}
+        for t in rec.removed_tasks:
+            self.tasks[t.tid] = t
+        for t in rec.removed_tasks:
+            for p in t.ins:
+                if p not in removed_set:
+                    self.tasks[p].outs.append(t.tid)
+            for s in t.outs:
+                if s not in removed_set:
+                    self.tasks[s].ins.append(t.tid)
+
+        self.fwd.update(rec.fwd_lists)
+        self.bwd.update(rec.bwd_lists)
+        self.sync[rec.sync_key] = rec.sync_list
+        self.edge_tasks.update(rec.edge_lists)
+        for m in rec.members:
+            self.strategy = self.strategy.with_config(m, rec.old_cfg)
 
     # -- aggregate views ----------------------------------------------------------
     def comm_tasks(self) -> list[Task]:

@@ -1,0 +1,248 @@
+"""Property tests for parallel search orchestration and the evaluation cache.
+
+The two load-bearing guarantees (see ``repro/search/parallel.py``):
+
+* worker-count invariance -- ``optimize(workers=k)`` returns the same
+  best cost/strategy as ``optimize(workers=1)`` for any ``k`` and seed;
+* cache neutrality -- cached and uncached searches take identical
+  accept/reject decisions and return identical results.
+
+Both rest on the simulated cost being a pure function of the strategy
+(canonical tie-breaking), which ``tests/sim`` locks down separately.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.machine.clusters import single_node
+from repro.machine.topology import DeviceTopology
+from repro.models.mlp import mlp
+from repro.profiler.profiler import OpProfiler
+from repro.search.cache import SimulationCache
+from repro.search.mcmc import MCMCConfig, mcmc_search
+from repro.search.optimizer import optimize
+from repro.search.parallel import ChainSpec, run_chains
+from repro.sim.simulator import Simulator
+from repro.soap.presets import data_parallelism
+from repro.soap.space import ConfigSpace
+
+
+def random_graph(rng: np.random.Generator):
+    """A small random MLP: varying batch, widths, and depth."""
+    batch = int(rng.choice([8, 16]))
+    depth = int(rng.integers(0, 3))
+    hidden = tuple(int(rng.choice([16, 32])) for _ in range(depth))
+    return mlp(batch=batch, in_dim=int(rng.choice([16, 32])), hidden=hidden, num_classes=8)
+
+
+def chains_equal(a, b) -> bool:
+    """Bit-level equality of two ChainResult lists."""
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if x.name != y.name or x.skipped != y.skipped:
+            return False
+        if x.best_cost_us != y.best_cost_us or x.init_cost_us != y.init_cost_us:
+            return False
+        if x.trace.costs != y.trace.costs or x.trace.accepted != y.trace.accepted:
+            return False
+        if x.best_strategy.signature() != y.best_strategy.signature():
+            return False
+    return True
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.slow
+    def test_property_random_graphs_workers_1_vs_2(self):
+        """For random small graphs, fan-out never changes the outcome."""
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            graph = random_graph(rng)
+            topo = single_node(int(rng.choice([2, 3])), "p100")
+            results = {
+                w: optimize(graph, topo, budget_iters=40, seed=seed, workers=w)
+                for w in (1, 2)
+            }
+            assert results[1].best_cost_us == results[2].best_cost_us, f"seed {seed}"
+            assert (
+                results[1].best_strategy.signature() == results[2].best_strategy.signature()
+            ), f"seed {seed}"
+            for name in results[1].traces:
+                assert results[1].traces[name].costs == results[2].traces[name].costs
+
+    @pytest.mark.slow
+    def test_workers_4_matches_workers_1(self, lenet_graph, topo4):
+        r1 = optimize(lenet_graph, topo4, budget_iters=60, seed=7, workers=1)
+        r4 = optimize(lenet_graph, topo4, budget_iters=60, seed=7, workers=4)
+        assert r1.best_cost_us == r4.best_cost_us
+        assert r1.best_strategy.signature() == r4.best_strategy.signature()
+
+    @pytest.mark.slow
+    def test_run_chains_identical_across_workers(self, lenet_graph, topo4):
+        specs = [
+            ChainSpec("a", data_parallelism(lenet_graph, topo4), MCMCConfig(iterations=50, seed=0)),
+            ChainSpec("b", data_parallelism(lenet_graph, topo4), MCMCConfig(iterations=50, seed=9)),
+        ]
+        seq = run_chains(lenet_graph, topo4, specs, OpProfiler(), workers=1)
+        par = run_chains(lenet_graph, topo4, specs, OpProfiler(), workers=2)
+        assert chains_equal(seq, par)
+
+
+class TestCacheNeutrality:
+    def test_property_cached_equals_uncached(self):
+        """Cached and uncached searches return identical results."""
+        for seed in range(5):
+            rng = np.random.default_rng(100 + seed)
+            graph = random_graph(rng)
+            topo = single_node(2, "p100")
+            outcomes = {}
+            for cache_size in (0, 4096):
+                res = optimize(
+                    graph, topo, budget_iters=60, seed=seed, workers=1, cache_size=cache_size
+                )
+                outcomes[cache_size] = res
+            assert outcomes[0].best_cost_us == outcomes[4096].best_cost_us, f"seed {seed}"
+            for name in outcomes[0].traces:
+                t0, t1 = outcomes[0].traces[name], outcomes[4096].traces[name]
+                assert t0.costs == t1.costs, f"seed {seed} chain {name}"
+                assert t0.accepted == t1.accepted
+            # Uncached runs report no cache activity at all.
+            assert outcomes[0].cache_hits == 0
+            # The cache never adds simulator work.
+            assert outcomes[4096].simulations <= outcomes[0].simulations
+
+    def test_cached_mcmc_chain_equals_uncached(self, lenet_graph, topo4):
+        runs = {}
+        for label, cache in (("off", None), ("on", SimulationCache(1024))):
+            sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+            _, cost, trace = mcmc_search(
+                sim,
+                ConfigSpace(lenet_graph, topo4),
+                MCMCConfig(iterations=120, seed=5, no_improve_frac=None),
+                cache=cache,
+            )
+            runs[label] = (cost, trace.costs, trace.accepted)
+        assert runs["on"] == runs["off"]
+
+    def test_small_space_search_hits_cache(self, topo2):
+        """On a tiny space the chain re-proposes strategies and must hit."""
+        graph = mlp(batch=8, in_dim=16, hidden=(), num_classes=4)
+        res = optimize(graph, topo2, budget_iters=300, seed=0, cache_size=4096)
+        assert res.cache_hits > 0
+        assert 0.0 < res.cache_hit_rate <= 1.0
+        # Hits translate into strictly fewer simulations than a cache-less run.
+        res_off = optimize(graph, topo2, budget_iters=300, seed=0, cache_size=0)
+        assert res.simulations < res_off.simulations
+        assert res.best_cost_us == res_off.best_cost_us
+
+
+class TestEarlyStopBroadcast:
+    def test_target_skips_remaining_chains(self, lenet_graph, topo4):
+        specs = [
+            ChainSpec("a", data_parallelism(lenet_graph, topo4), MCMCConfig(iterations=30, seed=0)),
+            ChainSpec("b", data_parallelism(lenet_graph, topo4), MCMCConfig(iterations=30, seed=1)),
+        ]
+        # An unreachable-low target keeps every chain running ...
+        res = run_chains(lenet_graph, topo4, specs, OpProfiler(), workers=1, early_stop_cost=0.0)
+        assert not any(r.skipped for r in res)
+        # ... while a trivially-met target stops the fleet after chain one.
+        res = run_chains(lenet_graph, topo4, specs, OpProfiler(), workers=1, early_stop_cost=1e18)
+        assert res[0].trace.stop_reason == "early_stop"
+        assert res[1].skipped
+
+    def test_no_target_means_no_early_stop(self, lenet_graph, topo4):
+        specs = [
+            ChainSpec("a", data_parallelism(lenet_graph, topo4), MCMCConfig(iterations=25, seed=0)),
+        ]
+        (r,) = run_chains(lenet_graph, topo4, specs, OpProfiler(), workers=1)
+        assert r.trace.stop_reason in ("iterations", "stall")
+        assert not r.skipped
+
+
+class TestFallbacks:
+    def test_unpicklable_topology_falls_back_in_process(self, lenet_graph):
+        devices = single_node(2, "p100").devices
+        topo = DeviceTopology(devices, lambda a, b: (20.0, 1.0, "nvlink", None), name="lambda")
+        specs = [
+            ChainSpec("a", data_parallelism(lenet_graph, topo), MCMCConfig(iterations=20, seed=0)),
+            ChainSpec("b", data_parallelism(lenet_graph, topo), MCMCConfig(iterations=20, seed=1)),
+        ]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            par = run_chains(lenet_graph, topo, specs, OpProfiler(), workers=2)
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        seq = run_chains(lenet_graph, topo, specs, OpProfiler(), workers=1)
+        assert chains_equal(seq, par)
+
+    def test_empty_specs_rejected(self, lenet_graph, topo4):
+        with pytest.raises(ValueError):
+            run_chains(lenet_graph, topo4, [], OpProfiler())
+
+
+class TestSpeculativeSimulator:
+    def test_revert_restores_cost_and_timeline(self, lenet_graph, topo4, rng):
+        from repro.sim.full_sim import full_simulate
+
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        base = sim.cost
+        space = ConfigSpace(lenet_graph, topo4)
+        for _ in range(10):
+            oid = int(rng.choice(lenet_graph.op_ids))
+            sim.propose(oid, space.random_config(oid, rng))
+            assert sim.revert() == base
+        assert sim.reverts == 10
+        assert full_simulate(sim.task_graph).equals(sim.timeline, tol=0.0)
+
+    def test_propose_requires_resolution(self, lenet_graph, topo4, rng):
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        space = ConfigSpace(lenet_graph, topo4)
+        oid = int(lenet_graph.op_ids[0])
+        sim.propose(oid, space.random_config(oid, rng))
+        with pytest.raises(RuntimeError):
+            sim.propose(oid, space.random_config(oid, rng))
+        sim.commit()
+        with pytest.raises(RuntimeError):
+            sim.commit()
+        with pytest.raises(RuntimeError):
+            sim.revert()
+
+
+class TestOptimizeSurface:
+    def test_result_reports_cache_and_workers(self, lenet_graph, topo4):
+        res = optimize(lenet_graph, topo4, budget_iters=40, seed=0, workers=1, cache_size=512)
+        assert res.workers == 1
+        assert res.cache_hits + res.cache_misses > 0
+        assert "evaluation cache" in res.summary()
+        assert len(res.chains) == len(res.traces)
+
+    def test_repeated_random_inits_become_chains(self, lenet_graph, topo4):
+        res = optimize(
+            lenet_graph, topo4, budget_iters=20, seed=0, inits=("random", "random", "random")
+        )
+        assert set(res.init_costs) == {"random", "random_2", "random_3"}
+
+    def test_per_chain_cache_stats_are_deltas(self, lenet_graph, topo4):
+        """Chains sharing a worker cache report their own activity, not the
+        cache's cumulative totals (which would double-count)."""
+        res = optimize(
+            lenet_graph,
+            topo4,
+            budget_iters=40,
+            seed=0,
+            inits=("data_parallel", "random", "random"),
+            workers=1,
+            cache_size=4096,
+        )
+        for r in res.chains:
+            assert r.cache.hits == r.trace.cache_hits, r.name
+            assert r.cache.misses == r.trace.cache_misses, r.name
+        assert sum(r.cache.hits for r in res.chains) == res.cache_hits
+
+    def test_workers_reports_observed_processes(self, lenet_graph, topo4):
+        seq = optimize(lenet_graph, topo4, budget_iters=20, seed=0, workers=1)
+        assert seq.workers == 1
+        # Requesting more workers than chains clamps to the chain count.
+        wide = optimize(lenet_graph, topo4, budget_iters=20, seed=0, workers=8)
+        assert 1 <= wide.workers <= len(wide.chains)

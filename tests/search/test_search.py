@@ -53,6 +53,46 @@ class TestMCMC:
         cfg = MCMCConfig(iterations=10_000, seed=3, no_improve_frac=0.01)
         _, _, trace = mcmc_search(sim, ConfigSpace(lenet_graph, topo4), cfg)
         assert trace.proposed < 10_000  # stopped early
+        assert trace.stop_reason == "stall"
+
+    def test_no_time_budget_terminates_on_iterations_alone(self, lenet_graph, topo4):
+        """Regression: ``time_budget_s=None`` with the stall check disabled
+        must run exactly the iteration budget and never raise from the
+        stall check (the ``None * iterations`` interaction)."""
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        cfg = MCMCConfig(iterations=37, seed=0, time_budget_s=None, no_improve_frac=None)
+        _, _, trace = mcmc_search(sim, ConfigSpace(lenet_graph, topo4), cfg)
+        assert trace.proposed == 37
+        assert trace.stop_reason == "iterations"
+
+    def test_stall_check_disabled_with_time_budget(self, lenet_graph, topo4):
+        """``no_improve_frac=None`` + a time budget: only the budget stops
+        the chain, and the combination never raises."""
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        cfg = MCMCConfig(iterations=50, seed=1, time_budget_s=60.0, no_improve_frac=None)
+        _, _, trace = mcmc_search(sim, ConfigSpace(lenet_graph, topo4), cfg)
+        assert trace.proposed == 50  # budget generous: iterations ran out first
+        assert trace.stop_reason == "iterations"
+
+    def test_checkpoints_no_duplicate_final_entry(self, lenet_graph, topo4):
+        """A chain ending on a checkpoint boundary records it once."""
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        cfg = MCMCConfig(iterations=20, seed=0, no_improve_frac=0.25, checkpoint_every=5)
+        _, _, trace = mcmc_search(sim, ConfigSpace(lenet_graph, topo4), cfg)
+        iters = [c[0] for c in trace.checkpoints]
+        assert iters == sorted(set(iters))  # strictly increasing, no dupes
+        assert iters[-1] == len(trace.costs)  # final state always recorded
+
+    def test_zero_no_improve_frac_stops_immediately_without_error(self, lenet_graph, topo4):
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        cfg = MCMCConfig(iterations=100, seed=2, no_improve_frac=0.0)
+        _, _, trace = mcmc_search(sim, ConfigSpace(lenet_graph, topo4), cfg)
+        assert trace.proposed <= 2  # stall window clamps to one iteration
+        assert trace.stop_reason == "stall"
 
 
 class TestOptimizer:

@@ -72,6 +72,62 @@ class TestDeltaEqualsFull:
         topo = single_node(3, "p100")
         mutate_and_check(graph, topo, seed=seed, steps=6)
 
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_long_sequences_with_interleaved_rejections(self, seed):
+        """20+ proposals with interleaved rejections/undos: the delta
+        timeline still exactly equals a from-scratch full simulation.
+
+        Mixes all three mutation styles the MCMC chain uses -- committed
+        proposals, reverted proposals (snapshot restore), and explicit
+        apply-then-undo pairs -- and checks after every step, so any drift
+        the single-step tests miss is caught as it accumulates.
+        """
+        graph = mlp(batch=16, in_dim=32, hidden=(32,), num_classes=8)
+        topo = single_node(3, "p100")
+        prof = OpProfiler()
+        sim = Simulator(graph, topo, data_parallelism(graph, topo), prof, algorithm="delta")
+        space = ConfigSpace(graph, topo)
+        rng = np.random.default_rng(seed)
+        for step in range(24):
+            oid = int(rng.choice(graph.op_ids))
+            cfg = space.random_config(oid, rng)
+            style = rng.random()
+            if style < 0.4:  # committed proposal
+                cost = sim.propose(oid, cfg)
+                sim.commit()
+            elif style < 0.8:  # rejected proposal: snapshot revert
+                sim.propose(oid, cfg)
+                cost = sim.revert()
+            else:  # legacy apply-then-undo pair
+                old = sim.strategy[oid]
+                sim.reconfigure(oid, cfg)
+                cost = sim.reconfigure(oid, old)
+            ref = full_simulate(sim.task_graph)
+            assert abs(ref.makespan - cost) < 1e-9, f"makespan diverged at step {step}"
+            assert ref.equals(sim.timeline), f"timeline diverged at step {step}"
+
+    def test_cost_is_path_independent(self, lenet_graph, topo4):
+        """Revisiting a strategy via different mutation paths gives the
+        bitwise-identical cost (the invariant the evaluation cache needs)."""
+        from repro.sim.simulator import simulate_strategy
+
+        prof = OpProfiler()
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), prof)
+        space = ConfigSpace(lenet_graph, topo4)
+        rng = np.random.default_rng(11)
+        seen: dict[tuple, float] = {}
+        for _ in range(60):
+            oid = int(rng.choice(lenet_graph.op_ids))
+            cost = sim.reconfigure(oid, space.random_config(oid, rng))
+            sig = sim.strategy.signature()
+            if sig in seen:
+                assert seen[sig] == cost  # bitwise, not approx
+            seen[sig] = cost
+            # A from-scratch rebuild of the same strategy agrees bitwise too.
+            scratch = simulate_strategy(lenet_graph, topo4, sim.strategy, prof).makespan_us
+            assert scratch == cost
+
     def test_stats_accounting(self, lenet_graph, topo4):
         sim = mutate_and_check(lenet_graph, topo4, seed=5, steps=10)
         st_ = sim.delta_stats

@@ -33,8 +33,8 @@ class TestFullSimulate:
         tg = TaskGraph(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
         tl = full_simulate(tg)
         for dev, lst in tl.device_order.items():
-            for (r1, t1), (r2, t2) in zip(lst, lst[1:]):
-                assert (r1, t1) < (r2, t2)
+            for (r1, k1, t1), (r2, k2, t2) in zip(lst, lst[1:]):
+                assert (r1, k1) < (r2, k2)
                 assert tl.end[t1] <= tl.start[t2] + 1e-9
 
     def test_start_respects_ready_and_exe(self, lenet_graph, topo4):

@@ -138,3 +138,27 @@ class TestReplaceConfig:
         tg = build(lenet_graph, topo4, data_parallelism(lenet_graph, topo4))
         removed, dirty = tg.replace_config(lenet_graph.id_of("fc1"), ParallelConfig.single(0))
         assert not (set(removed) & dirty)
+
+    def test_canonical_keys_unique(self, lenet_graph, tiny_rnn_graph, topo4):
+        """ckeys identify tasks structurally: unique within any graph,
+        stable across splices (the tie-breaking canonicalization)."""
+        for graph in (lenet_graph, tiny_rnn_graph):
+            tg = build(graph, topo4, data_parallelism(graph, topo4))
+            keys = [t.ckey for t in tg.tasks.values()]
+            assert len(keys) == len(set(keys))
+            oid = int(graph.op_ids[1])
+            tg.replace_config(oid, ParallelConfig.single(0))
+            keys = [t.ckey for t in tg.tasks.values()]
+            assert len(keys) == len(set(keys))
+
+    def test_undo_last_splice_restores_structure(self, tiny_rnn_graph, topo4):
+        tg = build(tiny_rnn_graph, topo4, data_parallelism(tiny_rnn_graph, topo4))
+        members = tiny_rnn_graph.param_groups()["lstm1"]
+        sig_before = tg.strategy.signature()
+        tasks_before = {tid: (t.device, t.exe_time, sorted(t.ins), sorted(t.outs)) for tid, t in tg.tasks.items()}
+        tg.replace_config(members[0], ParallelConfig.single(1), keep_record=True)
+        tg.undo_last_splice()
+        assert tg.strategy.signature() == sig_before
+        assert {tid: (t.device, t.exe_time, sorted(t.ins), sorted(t.outs)) for tid, t in tg.tasks.items()} == tasks_before
+        with pytest.raises(RuntimeError):
+            tg.undo_last_splice()  # valid exactly once

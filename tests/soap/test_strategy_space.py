@@ -13,6 +13,7 @@ from repro.soap.presets import (
     model_parallelism,
     single_device,
 )
+from repro.search.cache import FingerprintTracker, config_digest, strategy_fingerprint
 from repro.soap.space import ConfigSpace, divisors
 from repro.soap.strategy import Strategy
 
@@ -107,6 +108,50 @@ class TestConfigSpace:
         assert () in kinds
         assert (("sample", 2),) in kinds
         assert (("channel", 2),) in kinds
+
+
+class TestStrategyFingerprint:
+    """The canonical fingerprint behind the strategy-evaluation cache."""
+
+    def test_equal_strategies_hash_equal(self, lenet_graph, topo4, rng):
+        space = ConfigSpace(lenet_graph, topo4)
+        s = space.random_strategy(rng)
+        same = Strategy({oid: s[oid] for oid in s})
+        assert strategy_fingerprint(s) == strategy_fingerprint(same)
+
+    def test_insensitive_to_dict_ordering(self, lenet_graph, topo4, rng):
+        space = ConfigSpace(lenet_graph, topo4)
+        s = space.random_strategy(rng)
+        shuffled_ids = list(s)
+        np.random.default_rng(1).shuffle(shuffled_ids)
+        shuffled = Strategy({oid: s[oid] for oid in shuffled_ids})
+        assert strategy_fingerprint(shuffled) == strategy_fingerprint(s)
+
+    def test_any_single_op_change_alters_hash(self, lenet_graph, topo4):
+        s = data_parallelism(lenet_graph, topo4)
+        fp = strategy_fingerprint(s)
+        for oid in lenet_graph.op_ids:
+            changed = s.with_config(int(oid), ParallelConfig.single(0))
+            assert strategy_fingerprint(changed) != fp, f"op {oid}"
+
+    def test_same_config_different_op_differs(self):
+        cfg = ParallelConfig.single(0)
+        assert config_digest(0, cfg) != config_digest(1, cfg)
+
+    def test_tracker_matches_full_recompute(self, lenet_graph, topo4, rng):
+        space = ConfigSpace(lenet_graph, topo4)
+        s = space.random_strategy(rng)
+        tracker = FingerprintTracker(s)
+        assert tracker.fingerprint == strategy_fingerprint(s)
+        for _ in range(10):
+            oid = int(rng.choice(lenet_graph.op_ids))
+            cfg = space.random_config(oid, rng)
+            members = lenet_graph.group_members(oid)
+            fp, digests = tracker.propose(members, cfg)
+            for m in members:
+                s = s.with_config(m, cfg)
+            assert fp == strategy_fingerprint(s)
+            tracker.commit(fp, digests)
 
 
 class TestPresets:
