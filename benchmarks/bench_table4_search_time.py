@@ -7,11 +7,12 @@ constant-factor wins (see the fidelity note in EXPERIMENTS.md); the
 qualitative claim asserted here is that delta search is never slower.
 """
 
+import json
 import os
 
 import pytest
 
-from repro.bench.figures import table4_parallel_search, table4_search_time
+from repro.bench.figures import table4_parallel_search, table4_search_time, table4_warm_cold_search
 from repro.bench.reporting import print_table
 
 from conftest import run_once
@@ -51,3 +52,37 @@ def test_table4_parallel_orchestration(benchmark, scale):
     assert par["simulations"] <= seq["simulations"], rows
     if (os.cpu_count() or 1) >= workers:
         assert par["wall_s"] <= 0.6 * seq["wall_s"], rows
+
+
+@pytest.mark.slow
+def test_table4_warm_cold_store(benchmark, scale, tmp_path):
+    """Cold vs warm persistent-store rerun of one Table-4 search cell.
+
+    The warm run must be result-identical to the cold and no-store runs
+    (the store only skips simulations) and, per the cross-run persistence
+    claim, complete in at most half the cold run's search wall time --
+    nearly every proposal is answered from disk, so only the per-chain
+    initial simulations remain.  When ``REPRO_BENCH_JSON`` is set the
+    rows are also dumped there for the nightly CI artifact.
+    """
+    # Always a fresh directory: a REPRO_CACHE_DIR pre-warmed by earlier
+    # runs would make the "cold" row warm and void the comparison.
+    store_dir = str(tmp_path / "store")
+    rows = run_once(
+        benchmark, lambda: table4_warm_cold_search(scale, store_dir=store_dir)
+    )
+    print_table(rows, "Table 4 companion -- cold vs warm persistent store (seconds)")
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2)
+    nostore, cold, warm = rows
+    # Persistence is result-neutral: identical best cost everywhere.
+    assert cold["best_iter_ms"] == pytest.approx(nostore["best_iter_ms"], abs=0.0, rel=0.0)
+    assert warm["best_iter_ms"] == pytest.approx(nostore["best_iter_ms"], abs=0.0, rel=0.0)
+    # The cold run populates the store; the warm run drains it.
+    assert cold["store_entries_flushed"] > 0
+    assert warm["store_hit_rate"] > 0.9, rows
+    assert warm["simulations"] < cold["simulations"]
+    # The acceptance bar: a warm rerun costs at most half the cold search.
+    assert warm["wall_s"] <= 0.5 * cold["wall_s"], rows

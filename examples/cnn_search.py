@@ -5,6 +5,25 @@ Reproduces the Figure 13 workflow: compare data parallelism, the
 P100 cluster, then show where the discovered strategy spends its time.
 
 Run:  python examples/cnn_search.py [--gpus 8] [--iters 300]
+
+Warm-cache reruns
+-----------------
+Pass ``--store-dir`` (or export ``REPRO_CACHE_DIR``) to persist every
+strategy evaluation to disk.  The first run over a given (model,
+cluster) pair is a normal cold search that populates the store; any
+rerun -- tweaking ``--iters``, comparing ``--workers``, or repeating a
+sweep -- answers proposals from the store and skips the simulator almost
+entirely, at identical results::
+
+    python examples/cnn_search.py --gpus 8 --store-dir ~/.cache/repro   # cold
+    python examples/cnn_search.py --gpus 8 --store-dir ~/.cache/repro   # warm, many times faster
+
+The store is keyed by a composite fingerprint of the graph, topology,
+and simulator/cost-model versions: changing the model or the cluster
+keys a fresh context automatically, and code changes to the cost model
+or simulator are invalidated by bumping ``COST_MODEL_VERSION`` /
+``SIMULATOR_VERSION`` alongside the change (a stale store is never
+detected by magic -- the version constants are the contract).
 """
 
 import argparse
@@ -13,7 +32,7 @@ from repro.bench import print_table, strategy_rows
 from repro.machine import p100_cluster
 from repro.models import inception_v3
 from repro.profiler import OpProfiler
-from repro.search import optimize
+from repro.search import default_store_root, optimize
 from repro.sim import TaskGraph, full_simulate
 from repro.soap import data_parallelism, expert_strategy
 from repro.viz import device_utilization_bars
@@ -32,6 +51,12 @@ def main() -> None:
     ap.add_argument(
         "--cache-size", type=int, default=4096, help="strategy-evaluation cache entries (0 = off)"
     )
+    ap.add_argument(
+        "--store-dir",
+        default=default_store_root(),
+        help="persistent strategy-store directory for warm reruns "
+        "(default: $REPRO_CACHE_DIR; omit to disable persistence)",
+    )
     args = ap.parse_args()
 
     graph = inception_v3(batch=64)
@@ -47,6 +72,7 @@ def main() -> None:
         seed=0,
         workers=args.workers,
         cache_size=args.cache_size,
+        store=args.store_dir,
     )
     rows = strategy_rows(
         graph,

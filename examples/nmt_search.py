@@ -6,6 +6,19 @@ vocabulary-sized softmax layers split along the channel (parameter)
 dimension, LSTM layers combining batch and inter-layer parallelism.
 
 Run:  python examples/nmt_search.py [--steps 10] [--iters 400]
+
+Warm-cache reruns
+-----------------
+As in ``cnn_search.py``, ``--store-dir`` (or ``REPRO_CACHE_DIR``)
+persists strategy evaluations across runs.  NMT searches are the
+longest in the suite -- unrolled LSTM stacks produce big task graphs --
+so warm reruns pay off the most here::
+
+    python examples/nmt_search.py --steps 10 --store-dir ~/.cache/repro   # cold
+    python examples/nmt_search.py --steps 10 --store-dir ~/.cache/repro   # warm
+
+Changing ``--steps`` (a different unrolled graph) keys a different store
+context: warm entries are only reused where they are provably valid.
 """
 
 import argparse
@@ -14,7 +27,7 @@ from repro.bench import print_table, strategy_rows
 from repro.machine import single_node
 from repro.models import nmt
 from repro.profiler import OpProfiler
-from repro.search import optimize
+from repro.search import default_store_root, optimize
 from repro.soap import data_parallelism, expert_strategy
 from repro.viz import render_layer_summary
 
@@ -32,6 +45,12 @@ def main() -> None:
     ap.add_argument(
         "--cache-size", type=int, default=4096, help="strategy-evaluation cache entries (0 = off)"
     )
+    ap.add_argument(
+        "--store-dir",
+        default=default_store_root(),
+        help="persistent strategy-store directory for warm reruns "
+        "(default: $REPRO_CACHE_DIR; omit to disable persistence)",
+    )
     args = ap.parse_args()
 
     graph = nmt(batch=64, src_len=args.steps, tgt_len=args.steps, hidden=1024, vocab=16384)
@@ -47,6 +66,7 @@ def main() -> None:
         seed=0,
         workers=args.workers,
         cache_size=args.cache_size,
+        store=args.store_dir,
     )
     rows = strategy_rows(
         graph,

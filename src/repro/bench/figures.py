@@ -59,12 +59,21 @@ __all__ = [
     "table3_accuracy_parity",
     "table4_search_time",
     "table4_parallel_search",
+    "table4_warm_cold_search",
     "sec84_optimality",
 ]
 
 
 def _flexflow(graph, topo, scale: BenchScale, seed: int = 0, profiler=None):
-    """One FlexFlow search at the bench scale; returns the OptimizeResult."""
+    """One FlexFlow search at the bench scale; returns the OptimizeResult.
+
+    ``scale.store_dir`` (``REPRO_CACHE_DIR``) threads the persistent
+    strategy store through every figure sweep: reruns over the same
+    (model, cluster) cells warm-start from disk at identical results.
+    The controlled A/B benches (``table4_parallel_search``,
+    ``table4_warm_cold_search``) manage their own store deliberately and
+    do not go through this helper's default.
+    """
     return optimize(
         graph,
         topo,
@@ -74,6 +83,7 @@ def _flexflow(graph, topo, scale: BenchScale, seed: int = 0, profiler=None):
         seed=seed,
         workers=scale.search_workers,
         cache_size=scale.sim_cache_size,
+        store=scale.store_dir,
     )
 
 
@@ -494,6 +504,70 @@ def table4_parallel_search(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4 companion: cold vs warm persistent-store search (sweep reruns).
+# ---------------------------------------------------------------------------
+def table4_warm_cold_search(
+    scale: BenchScale,
+    model: str = "inception_v3",
+    gpus: int = 8,
+    seed: int = 0,
+    store_dir: "str | None" = None,
+    workers: int = 1,
+) -> list[dict]:
+    """The same search run against a cold and then a warm persistent store.
+
+    Models a Table-4-style sweep revisiting one ``(model, cluster)`` pair:
+    the cold run populates the on-disk store
+    (:mod:`repro.search.store`), the warm run answers almost every
+    proposal from it and only simulates each chain's initial strategy
+    (lazy timeline sync never catches up when nothing misses).  Results
+    are bit-identical across the three rows -- the store is
+    result-neutral -- so the interesting columns are wall time,
+    simulation count, and store hit rate.  ``store_dir`` defaults to a
+    throwaway temporary directory; deliberately NOT to
+    ``scale.store_dir`` (``REPRO_CACHE_DIR``), which a previous run may
+    have pre-warmed -- the "cold" row must actually be cold for the
+    comparison to mean anything.
+    """
+    import tempfile
+
+    graph, _ = bench_model(model, scale)
+    topo = cluster("p100", min(gpus, scale.max_gpus_p100))
+
+    tmp = None
+    if store_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-store-")
+        store_dir = tmp.name
+    try:
+        rows = []
+        for label, store in (("no-store", None), ("cold", store_dir), ("warm", store_dir)):
+            res = optimize(
+                graph,
+                topo,
+                profiler=OpProfiler(),
+                budget_iters=scale.search_iters,
+                seed=seed,
+                workers=workers,
+                cache_size=scale.sim_cache_size,
+                store=store,
+            )
+            rows.append(
+                {
+                    "mode": label,
+                    "best_iter_ms": res.best_cost_us / 1e3,
+                    "wall_s": res.wall_time_s,
+                    "simulations": res.simulations,
+                    "store_hit_rate": res.store_stats.hit_rate,
+                    "store_entries_flushed": res.store_stats.appended,
+                }
+            )
+        return rows
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
 
 
 # ---------------------------------------------------------------------------

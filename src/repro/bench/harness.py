@@ -49,6 +49,10 @@ class BenchScale:
     table4_iters: int  # search iterations per Table 4 cell
     search_workers: int = 1  # process fan-out for multi-chain search
     sim_cache_size: int = 4096  # strategy-evaluation cache per worker
+    # Directory of the persistent cross-run strategy store (None disables
+    # persistence).  Sweeps that re-search the same (model, cluster) pair
+    # warm-start from it; see repro.search.store.
+    store_dir: str | None = None
 
 
 CI_SCALE = BenchScale(
@@ -82,8 +86,9 @@ def current_scale() -> BenchScale:
     """CI scale unless ``REPRO_FULL=1`` is set in the environment.
 
     ``REPRO_WORKERS`` and ``REPRO_CACHE`` override the scale's search
-    fan-out and cache capacity (results are invariant to both; only wall
-    time and cache accounting change).
+    fan-out and cache capacity, and ``REPRO_CACHE_DIR`` points the
+    persistent cross-run strategy store at a directory (results are
+    invariant to all three; only wall time and cache accounting change).
     """
     scale = FULL_SCALE if os.environ.get("REPRO_FULL") == "1" else CI_SCALE
     overrides = {}
@@ -91,6 +96,8 @@ def current_scale() -> BenchScale:
         overrides["search_workers"] = max(1, int(os.environ["REPRO_WORKERS"]))
     if os.environ.get("REPRO_CACHE"):
         overrides["sim_cache_size"] = max(0, int(os.environ["REPRO_CACHE"]))
+    if os.environ.get("REPRO_CACHE_DIR"):
+        overrides["store_dir"] = os.environ["REPRO_CACHE_DIR"]
     return replace(scale, **overrides) if overrides else scale
 
 

@@ -121,6 +121,21 @@ class DeviceTopology:
             self._connections[key] = conn
         return conn
 
+    def link_spec(self, src: int, dst: int) -> tuple:
+        """The raw link-policy tuple for a device pair, without materializing.
+
+        Returns ``(bandwidth_gbps, latency_us, label)`` or
+        ``(bandwidth, latency, label, share_key)`` exactly as the policy
+        yields it.  Read-only: no :class:`Connection` (and no comm-device
+        id) is created, so calling this in any order leaves the topology's
+        lazily-built connection table untouched -- the persistent search
+        store uses it to digest the link model independently of usage
+        history.
+        """
+        if src == dst:
+            raise ValueError("no connection from a device to itself")
+        return self._link_policy(self.devices[src], self.devices[dst])
+
     def transfer_us(self, src: int, dst: int, nbytes: float) -> float:
         """Transfer time between two devices (0 for same-device)."""
         if src == dst:

@@ -31,7 +31,12 @@ from repro.ir.dims import Region
 from repro.ir.ops import Operation
 from repro.machine.device import DeviceSpec
 
-__all__ = ["OP_EFFICIENCY", "task_time_us", "update_time_us", "noise_factor"]
+__all__ = ["COST_MODEL_VERSION", "OP_EFFICIENCY", "task_time_us", "update_time_us", "noise_factor"]
+
+# Bump whenever a change to this module can move a predicted task time:
+# the persistent strategy store (repro.search.store) folds this into its
+# context key, so stale cross-run cache entries stop being addressed.
+COST_MODEL_VERSION = 1
 
 # Per-op-type (compute efficiency, memory efficiency) relative to peak.
 # Compute-dense kernels run near vendor-library efficiency; data-movement

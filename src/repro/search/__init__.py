@@ -7,7 +7,7 @@ from repro.search.cache import (
     strategy_fingerprint,
 )
 from repro.search.exhaustive import ExhaustiveResult, exhaustive_search
-from repro.search.mcmc import MCMCConfig, SearchTrace, mcmc_search
+from repro.search.mcmc import BudgetChannel, MCMCConfig, SearchTrace, mcmc_search
 from repro.search.optimizer import OptimizeResult, optimize
 from repro.search.parallel import (
     DEFAULT_CACHE_SIZE,
@@ -16,12 +16,29 @@ from repro.search.parallel import (
     default_workers,
     run_chains,
 )
+from repro.search.store import (
+    STORE_FORMAT_VERSION,
+    StoreStats,
+    StrategyStore,
+    default_store_root,
+    graph_digest,
+    search_context,
+    topology_digest,
+)
 
 __all__ = [
     "CacheStats",
     "SimulationCache",
     "config_digest",
     "strategy_fingerprint",
+    "STORE_FORMAT_VERSION",
+    "StoreStats",
+    "StrategyStore",
+    "default_store_root",
+    "graph_digest",
+    "search_context",
+    "topology_digest",
+    "BudgetChannel",
     "ExhaustiveResult",
     "exhaustive_search",
     "MCMCConfig",

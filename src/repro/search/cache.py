@@ -120,12 +120,18 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def merge(self, other: "CacheStats") -> "CacheStats":
-        """Aggregate accounting across chains/workers (sizes are summed)."""
+        """Aggregate accounting across chains/workers.
+
+        Counters (hits/misses/evictions) are summed; ``size`` takes the
+        maximum, not the sum -- co-located chains snapshot the *same*
+        shared per-worker cache, and summing those snapshots would
+        report an occupancy above ``capacity``.
+        """
         return CacheStats(
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
-            size=self.size + other.size,
+            size=max(self.size, other.size),
             capacity=max(self.capacity, other.capacity),
         )
 

@@ -11,24 +11,32 @@ Chains execute through the parallel orchestrator
 in-process, ``workers>1`` fans them out over a process pool.  Results are
 identical either way (per-chain seeded RNG + pure-function costs); each
 worker consults a bounded strategy-evaluation cache
-(:mod:`repro.search.cache`) whose hit/miss totals are surfaced on
-:class:`OptimizeResult`.
+(:mod:`repro.search.cache`) and, when ``store`` names a directory, the
+persistent cross-run store (:mod:`repro.search.store`).  Aggregate
+hit/miss totals for both layers are surfaced on :class:`OptimizeResult`,
+summed from the per-chain deltas each :class:`ChainResult` carries back
+from its worker -- per-worker structures die with the pool, the deltas
+survive it.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
+from functools import reduce
 
 import numpy as np
 
 from repro.ir.graph import OperatorGraph
 from repro.machine.topology import DeviceTopology
 from repro.profiler.profiler import OpProfiler
-from repro.sim.metrics import IterationMetrics, throughput_samples_per_sec
-from repro.sim.simulator import simulate_strategy
+from repro.search.cache import CacheStats
 from repro.search.mcmc import MCMCConfig, SearchTrace
 from repro.search.parallel import DEFAULT_CACHE_SIZE, ChainResult, ChainSpec, run_chains
+from repro.search.store import StoreStats
+from repro.sim.metrics import IterationMetrics, throughput_samples_per_sec
+from repro.sim.simulator import simulate_strategy
 from repro.soap.presets import data_parallelism, expert_strategy
 from repro.soap.space import ConfigSpace
 from repro.soap.strategy import Strategy
@@ -50,6 +58,11 @@ class OptimizeResult:
     workers: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    # Full aggregated accounting (evictions included) summed from the
+    # per-chain deltas -- per-worker caches/stores die with the pool, so
+    # these aggregates are the only totals that survive it.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    store_stats: StoreStats = field(default_factory=StoreStats)
     chains: list[ChainResult] = field(default_factory=list)
 
     @property
@@ -60,6 +73,18 @@ class OptimizeResult:
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def store_hits(self) -> int:
+        return self.store_stats.hits
+
+    @property
+    def store_misses(self) -> int:
+        return self.store_stats.misses
+
+    @property
+    def store_hit_rate(self) -> float:
+        return self.store_stats.hit_rate
 
     def throughput(self, batch: int) -> float:
         return throughput_samples_per_sec(batch, self.best_cost_us)
@@ -73,6 +98,12 @@ class OptimizeResult:
             f"evaluation cache: {self.cache_hits} hits / {self.cache_misses} misses "
             f"({self.cache_hit_rate:.1%} hit rate)",
         ]
+        if self.store_stats.lookups or self.store_stats.appended:
+            lines.append(
+                f"persistent store: {self.store_stats.hits} hits / "
+                f"{self.store_stats.misses} misses ({self.store_hit_rate:.1%} hit rate), "
+                f"{self.store_stats.appended} new entries flushed"
+            )
         for name, c in self.init_costs.items():
             speedup = c / self.best_cost_us if self.best_cost_us > 0 else float("inf")
             lines.append(f"  vs {name}: {c / 1e3:.3f} ms ({speedup:.2f}x)")
@@ -94,6 +125,8 @@ def optimize(
     cache_size: int = DEFAULT_CACHE_SIZE,
     early_stop_cost: float | None = None,
     checkpoint_every: int = 0,
+    store: "str | os.PathLike | None" = None,
+    adaptive: bool = False,
 ) -> OptimizeResult:
     """Find a fast parallelization strategy for ``graph`` on ``topology``.
 
@@ -123,6 +156,19 @@ def optimize(
         for the determinism trade-off).
     checkpoint_every:
         Checkpoint cadence recorded into each chain's ``SearchTrace``.
+    store:
+        Directory of the persistent cross-run strategy store, or ``None``
+        to disable persistence.  For iteration-bounded chains results are
+        identical either way -- a warm store only skips simulations.
+        With *time-based* stopping (``time_budget_s``) the stop point
+        depends on wall-clock, so anything that changes speed -- a warm
+        store included -- changes where chains stop and thus possibly the
+        result.  ``REPRO_CACHE_DIR`` supplies a default through the bench
+        harness, not here.
+    adaptive:
+        Opt into adaptive chain scheduling: stalled chains donate their
+        unused iteration budget to still-improving ones.  Off by default;
+        when off, results are bit-identical to the fixed-budget search.
     """
     profiler = profiler or OpProfiler()
     workers = max(1, workers)
@@ -156,6 +202,7 @@ def optimize(
                 time_budget_s=time_budget_s,
                 seed=seed + 1000 * chain_idx,
                 checkpoint_every=checkpoint_every,
+                adaptive=adaptive,
             ),
         )
         for chain_idx, (name, init) in enumerate(candidates.items())
@@ -172,6 +219,7 @@ def optimize(
         algorithm=algorithm,
         training=training,
         early_stop_cost=early_stop_cost,
+        store_root=store,
     )
     wall = time.perf_counter() - t0
 
@@ -180,19 +228,20 @@ def optimize(
     traces: dict[str, SearchTrace] = {}
     init_costs: dict[str, float] = {}
     simulations = 0
-    cache_hits = 0
-    cache_misses = 0
     for r in results:
         if r.skipped:
             continue
         traces[r.name] = r.trace
         init_costs[r.name] = r.init_cost_us
         simulations += r.trace.simulations + 1  # +1: the chain's init simulation
-        cache_hits += r.trace.cache_hits
-        cache_misses += r.trace.cache_misses
         if r.best_cost_us < best_cost:
             best_cost = r.best_cost_us
             best_strategy = r.best_strategy
+
+    # Aggregate per-chain accounting deltas: the authoritative totals,
+    # since per-worker caches/stores are gone once the pool shuts down.
+    cache_stats = reduce(CacheStats.merge, (r.cache for r in results), CacheStats())
+    store_stats = reduce(StoreStats.merge, (r.store for r in results), StoreStats())
 
     assert best_strategy is not None, "optimize() requires at least one init"
     metrics = simulate_strategy(graph, topology, best_strategy, profiler, training=training)
@@ -209,7 +258,9 @@ def optimize(
         wall_time_s=wall,
         simulations=simulations,
         workers=observed_workers,
-        cache_hits=cache_hits,
-        cache_misses=cache_misses,
+        cache_hits=cache_stats.hits,
+        cache_misses=cache_stats.misses,
+        cache_stats=cache_stats,
+        store_stats=store_stats,
         chains=results,
     )

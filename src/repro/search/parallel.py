@@ -15,10 +15,12 @@ Determinism guarantees
    independent of the mutation path that reached it, so a chain computes
    the same trajectory in any process.
 3. **Result-neutral caching.**  The per-worker
-   :class:`~repro.search.cache.SimulationCache` only skips redundant
-   simulations; accept/reject decisions are unchanged.  Cache *hit
-   accounting* may vary with scheduling (chains co-located in one worker
-   share its cache), the search results never do.
+   :class:`~repro.search.cache.SimulationCache` and the optional
+   persistent :class:`~repro.search.store.StrategyStore` only skip
+   redundant simulations; accept/reject decisions are unchanged.  Cache
+   *hit accounting* may vary with scheduling (chains co-located in one
+   worker share its cache and store snapshot), the search results never
+   do.
 4. **Opt-in early stop.**  With ``early_stop_cost=None`` (the default)
    every chain runs to its own budget and
    ``run_chains(..., workers=1)`` and ``run_chains(..., workers=k)``
@@ -27,6 +29,26 @@ Determinism guarantees
    memory and stops chains (and skips not-yet-started ones) once the
    target is met -- the returned best still meets the target, but which
    chain found it first may vary with timing.
+5. **Opt-in adaptive budgets.**  Chains whose
+   :class:`~repro.search.mcmc.MCMCConfig` sets ``adaptive=True`` share an
+   iteration-budget pool through the same shared-memory channel: chains
+   that stop on the stall criterion deposit their unused iterations,
+   chains that exhaust their budget while still improving withdraw them.
+   Like early stop, this trades determinism for wall-clock: which chain
+   receives donated budget depends on timing (except under ``workers=1``,
+   where chain order is fixed).  With every chain at the default
+   ``adaptive=False`` the pool is never touched and results are
+   bit-identical to the fixed-budget orchestration.
+
+Persistence
+-----------
+``store_root`` (or ``REPRO_CACHE_DIR``) names a directory holding
+cross-run shard files (see :mod:`repro.search.store`).  The parent
+computes the search-context key once; each worker opens the shard,
+preloads its snapshot, consults it before the in-memory LRU, and flushes
+newly simulated evaluations on every chain completion -- so evaluations
+survive pool teardown and warm the next search over the same
+``(graph, topology)`` pair, including searches in other processes.
 
 Worker processes receive the pickled ``(graph, topology, profiler)``
 triple and rebuild their own live :class:`~repro.sim.Simulator`; if any
@@ -41,7 +63,7 @@ import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import multiprocessing as mp
 
@@ -50,6 +72,7 @@ from repro.machine.topology import DeviceTopology
 from repro.profiler.profiler import OpProfiler
 from repro.search.cache import CacheStats, SimulationCache
 from repro.search.mcmc import MCMCConfig, SearchTrace, mcmc_search
+from repro.search.store import StoreStats, StrategyStore, search_context
 from repro.sim.simulator import Simulator
 from repro.soap.space import ConfigSpace
 from repro.soap.strategy import Strategy
@@ -91,32 +114,85 @@ class ChainResult:
     init_cost_us: float
     trace: SearchTrace = field(default_factory=SearchTrace)
     wall_time_s: float = 0.0
-    # This chain's *own* cache activity (a delta, not the shared per-worker
-    # cache's cumulative totals -- chains co-located in one worker share a
-    # cache, so snapshots would double-count).
+    # This chain's *own* cache/store activity (deltas, not the shared
+    # per-worker structures' cumulative totals -- chains co-located in one
+    # worker share a cache and store snapshot, so raw snapshots would
+    # double-count).
     cache: CacheStats = field(default_factory=CacheStats)
+    store: StoreStats = field(default_factory=StoreStats)
     skipped: bool = False  # early-stop target met before the chain started
     worker_pid: int = 0  # process that ran the chain (observed, not requested)
 
 
+class _SharedBudget:
+    """Cross-process iteration-budget pool (adaptive chain scheduling)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        self._value = value  # mp.Value("l")
+
+    def deposit(self, n: int) -> None:
+        if n <= 0:
+            return
+        with self._value.get_lock():
+            self._value.value += int(n)
+
+    def withdraw(self, n: int) -> int:
+        if n <= 0:
+            return 0
+        with self._value.get_lock():
+            grant = min(int(n), self._value.value)
+            self._value.value -= grant
+            return grant
+
+
+class _LocalBudget:
+    """In-process budget pool (workers=1 path; deterministic order)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def deposit(self, n: int) -> None:
+        if n > 0:
+            self.value += int(n)
+
+    def withdraw(self, n: int) -> int:
+        grant = min(max(0, int(n)), self.value)
+        self.value -= grant
+        return grant
+
+
 # -- worker-side state ---------------------------------------------------------
-# Populated by the pool initializer in each worker process.  The cache is
-# shared by every chain that lands in this worker (sound: costs are pure
-# functions of the strategy); the Value broadcasts the global best cost.
+# Populated by the pool initializer in each worker process.  The cache and
+# store snapshot are shared by every chain that lands in this worker
+# (sound: costs are pure functions of the strategy); the Value broadcasts
+# the global best cost and the budget Value carries the adaptive pool.
 # The (graph, topology, profiler, ...) environment is pickled once in the
 # parent and lazily unpickled once per worker -- per-task payloads carry
 # only the small ChainSpec.
 _shared_best: "mp.sharedctypes.Synchronized | None" = None
+_shared_budget: _SharedBudget | None = None
 _worker_cache: SimulationCache | None = None
+_worker_store: StrategyStore | None = None
+_store_args: tuple[str, str] | None = None
 _env_bytes: bytes | None = None
 _env: tuple | None = None
 
 
-def _init_worker(shared_best, cache_size: int, env_bytes: bytes) -> None:
-    global _shared_best, _worker_cache, _env_bytes, _env
+def _init_worker(shared_best, budget_value, cache_size: int, store_args, env_bytes: bytes) -> None:
+    global _shared_best, _shared_budget, _worker_cache, _worker_store, _store_args, _env_bytes, _env
     _shared_best = shared_best
+    _shared_budget = _SharedBudget(budget_value) if budget_value is not None else None
     # capacity 0 = caching off: skip fingerprint bookkeeping entirely.
     _worker_cache = SimulationCache(cache_size) if cache_size > 0 else None
+    # Store opening (a mkdir + shard read) is deferred out of the
+    # initializer to the first chain task, so workers the executor spins
+    # up but never hands a chain to don't touch the disk.
+    _worker_store = None
+    _store_args = store_args
     _env_bytes = env_bytes
     _env = None
 
@@ -129,13 +205,35 @@ def _publish_best(shared_best, cost: float) -> None:
             shared_best.value = cost
 
 
+def _stats_delta(after: CacheStats, before: CacheStats) -> CacheStats:
+    return CacheStats(
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        evictions=after.evictions - before.evictions,
+        size=after.size,
+        capacity=after.capacity,
+    )
+
+
+def _store_delta(after: StoreStats, before: StoreStats) -> StoreStats:
+    return StoreStats(
+        loaded=after.loaded,
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        appended=after.appended - before.appended,
+        dropped=after.dropped,
+    )
+
+
 def _run_one_chain(
     graph: OperatorGraph,
     topology: DeviceTopology,
     profiler: OpProfiler,
     spec: ChainSpec,
     cache: SimulationCache | None,
+    store: StrategyStore | None,
     shared_best,
+    budget,
     algorithm: str,
     training: bool,
     early_stop_cost: float | None,
@@ -154,6 +252,7 @@ def _run_one_chain(
                     worker_pid=os.getpid(),
                 )
     cache_before = cache.stats() if cache is not None else CacheStats()
+    store_before = replace(store.stats) if store is not None else StoreStats()
 
     sim = Simulator(graph, topology, spec.init, profiler, training=training, algorithm=algorithm)
     init_cost = sim.cost
@@ -177,19 +276,25 @@ def _run_one_chain(
 
     space = ConfigSpace(graph, topology)
     best_strategy, best_cost, trace = mcmc_search(
-        sim, space, spec.config, cache=cache, should_stop=should_stop, on_improve=on_improve
+        sim,
+        space,
+        spec.config,
+        cache=cache,
+        should_stop=should_stop,
+        on_improve=on_improve,
+        store=store,
+        budget=budget,
     )
-    if cache is not None:
-        after = cache.stats()
-        cache_delta = CacheStats(
-            hits=after.hits - cache_before.hits,
-            misses=after.misses - cache_before.misses,
-            evictions=after.evictions - cache_before.evictions,
-            size=after.size,
-            capacity=after.capacity,
-        )
+    if store is not None:
+        # Chain completion is the durability point: evaluations from this
+        # chain survive pool teardown and warm future searches.
+        store.flush()
+        store_delta = _store_delta(store.stats, store_before)
     else:
-        cache_delta = CacheStats()
+        store_delta = StoreStats()
+    cache_delta = (
+        _stats_delta(cache.stats(), cache_before) if cache is not None else CacheStats()
+    )
     return ChainResult(
         name=spec.name,
         best_strategy=best_strategy,
@@ -198,24 +303,31 @@ def _run_one_chain(
         trace=trace,
         wall_time_s=time.perf_counter() - t0,
         cache=cache_delta,
+        store=store_delta,
         worker_pid=os.getpid(),
     )
 
 
 def _chain_task(spec: ChainSpec) -> ChainResult:
     """Pool entry point: rebuild the shared environment once, run the chain."""
-    global _env
+    global _env, _worker_store, _store_args
     if _env is None:
         assert _env_bytes is not None, "worker initializer did not run"
         _env = pickle.loads(_env_bytes)
     graph, topology, profiler, algorithm, training, early_stop_cost = _env
+    if _worker_store is None and _store_args is not None:
+        root, context = _store_args
+        _worker_store = StrategyStore(root, context)
+        _store_args = None  # opened (or degraded); don't retry per chain
     return _run_one_chain(
         graph,
         topology,
         profiler,
         spec,
         _worker_cache,
+        _worker_store,
         _shared_best,
+        _shared_budget,
         algorithm,
         training,
         early_stop_cost,
@@ -253,18 +365,42 @@ def run_chains(
     algorithm: str = "delta",
     training: bool = True,
     early_stop_cost: float | None = None,
+    store_root: "str | os.PathLike | None" = None,
 ) -> list[ChainResult]:
     """Run every chain in ``specs``; returns results in spec order.
 
     ``workers=1`` (or a single spec) runs chains sequentially in-process;
     ``workers>1`` fans them out over a process pool.  Either way the
     per-chain results are identical when ``early_stop_cost`` is ``None``
-    (see the module docstring for the determinism argument).
+    and no chain opts into adaptive budgets (see the module docstring for
+    the determinism argument).  ``store_root`` names the persistent
+    strategy-store directory shared across runs (``None`` disables
+    persistence).
     """
     profiler = profiler or OpProfiler()
     if not specs:
         raise ValueError("run_chains() requires at least one chain spec")
     workers = max(1, min(workers, len(specs)))
+
+    store_ctx: str | None = None
+    if store_root is not None:
+        try:
+            store_ctx = search_context(
+                graph,
+                topology,
+                training=training,
+                algorithm=algorithm,
+                noise_amplitude=profiler.noise_amplitude,
+            )
+        except Exception as exc:  # a broken digest must never kill a search
+            warnings.warn(
+                f"strategy store disabled (context digest failed: {exc!r})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            store_root = None
+
+    adaptive = any(s.config.adaptive for s in specs)
 
     if workers > 1:
         try:
@@ -284,21 +420,43 @@ def run_chains(
 
     if workers == 1:
         shared = _LocalBest()
+        budget = _LocalBudget() if adaptive else None
         cache = SimulationCache(cache_size) if cache_size > 0 else None
+        store = (
+            StrategyStore(store_root, store_ctx)
+            if store_root is not None and store_ctx is not None
+            else None
+        )
         return [
             _run_one_chain(
-                graph, topology, profiler, s, cache, shared, algorithm, training, early_stop_cost
+                graph,
+                topology,
+                profiler,
+                s,
+                cache,
+                store,
+                shared,
+                budget,
+                algorithm,
+                training,
+                early_stop_cost,
             )
             for s in specs
         ]
 
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
     shared_best = ctx.Value("d", float("inf"))
+    budget_value = ctx.Value("l", 0) if adaptive else None
+    store_args = (
+        (os.fspath(store_root), store_ctx)
+        if store_root is not None and store_ctx is not None
+        else None
+    )
     with ProcessPoolExecutor(
         max_workers=workers,
         mp_context=ctx,
         initializer=_init_worker,
-        initargs=(shared_best, cache_size, env_bytes),
+        initargs=(shared_best, budget_value, cache_size, store_args, env_bytes),
     ) as pool:
         futures = [pool.submit(_chain_task, s) for s in specs]
         return [f.result() for f in futures]

@@ -1,5 +1,11 @@
 """Execution simulator (paper Section 5): task graphs, full & delta algorithms."""
 
+# Bump whenever a simulator change can move the predicted cost of a
+# strategy (task-graph construction, scheduling, tie-breaking, ...): the
+# persistent strategy store (repro.search.store) keys on it, so bumping
+# invalidates every cross-run cache entry without touching disk.
+SIMULATOR_VERSION = 1
+
 from repro.sim.delta_sim import DeltaStats, delta_simulate
 from repro.sim.full_sim import Timeline, full_simulate
 from repro.sim.metrics import IterationMetrics, compute_metrics, throughput_samples_per_sec
@@ -7,6 +13,7 @@ from repro.sim.simulator import Simulator, simulate_strategy
 from repro.sim.taskgraph import Task, TaskGraph, TaskKind
 
 __all__ = [
+    "SIMULATOR_VERSION",
     "DeltaStats",
     "delta_simulate",
     "Timeline",

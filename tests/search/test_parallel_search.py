@@ -240,6 +240,34 @@ class TestOptimizeSurface:
             assert r.cache.misses == r.trace.cache_misses, r.name
         assert sum(r.cache.hits for r in res.chains) == res.cache_hits
 
+    def test_cache_stats_aggregate_across_workers(self, lenet_graph, topo4):
+        """Regression: per-worker SimulationCache stats used to die with
+        the pool (only hit/miss trace counters survived; evictions were
+        silently dropped).  OptimizeResult.cache_stats must aggregate the
+        full accounting from the ChainResult deltas, for any worker
+        count."""
+        for workers in (1, 2):
+            res = optimize(
+                lenet_graph,
+                topo4,
+                budget_iters=60,
+                seed=0,
+                workers=workers,
+                inits=("data_parallel", "random", "random"),
+                cache_size=8,  # tiny: forces evictions
+            )
+            agg = res.cache_stats
+            assert agg.hits == sum(r.cache.hits for r in res.chains) == res.cache_hits
+            assert agg.misses == sum(r.cache.misses for r in res.chains) == res.cache_misses
+            assert agg.evictions == sum(r.cache.evictions for r in res.chains)
+            # Totals agree with the per-chain trace counters too.
+            assert agg.hits == sum(t.cache_hits for t in res.traces.values())
+            assert agg.misses == sum(t.cache_misses for t in res.traces.values())
+            # The latent bug: evictions happened but were dropped on pool
+            # teardown.  Now they survive.
+            assert agg.evictions > 0, f"workers={workers}"
+            assert agg.capacity == 8
+
     def test_workers_reports_observed_processes(self, lenet_graph, topo4):
         seq = optimize(lenet_graph, topo4, budget_iters=20, seed=0, workers=1)
         assert seq.workers == 1
