@@ -31,8 +31,9 @@ import argparse
 from repro.bench import print_table, strategy_rows
 from repro.machine import p100_cluster
 from repro.models import inception_v3
+from repro.plan import BudgetConfig, ExecutionConfig, Planner, SearchConfig, StoreConfig
 from repro.profiler import OpProfiler
-from repro.search import default_store_root, optimize
+from repro.search import default_store_root
 from repro.sim import TaskGraph, full_simulate
 from repro.soap import data_parallelism, expert_strategy
 from repro.viz import device_utilization_bars
@@ -64,15 +65,15 @@ def main() -> None:
     profiler = OpProfiler()
     print(f"Inception-v3 ({graph.num_ops} ops) on {topo.name}\n")
 
-    result = optimize(
-        graph,
-        topo,
-        profiler=profiler,
-        budget_iters=args.iters,
-        seed=0,
-        workers=args.workers,
-        cache_size=args.cache_size,
-        store=args.store_dir,
+    planner = Planner(graph, topo, profiler=profiler)
+    result = planner.search(
+        "mcmc",
+        SearchConfig(
+            budget=BudgetConfig(iterations=args.iters),
+            execution=ExecutionConfig(workers=args.workers, cache_size=args.cache_size),
+            store=StoreConfig(root=args.store_dir),
+            seed=0,
+        ),
     )
     rows = strategy_rows(
         graph,
@@ -81,7 +82,7 @@ def main() -> None:
         strategies={
             "data_parallel": data_parallelism(graph, topo),
             "expert (OWT)": expert_strategy(graph, topo),
-            "flexflow": result.best_strategy,
+            "flexflow": result,  # strategy_rows unwraps the PlanResult
         },
         profiler=profiler,
     )

@@ -12,8 +12,8 @@ Run:  python examples/custom_cluster.py
 from repro.bench import print_table
 from repro.machine import k80_cluster, p100_cluster, single_node, uniform_cluster
 from repro.models import rnnlm
+from repro.plan import BudgetConfig, Planner, SearchConfig
 from repro.profiler import OpProfiler
-from repro.search import optimize
 from repro.sim import simulate_strategy
 
 
@@ -25,16 +25,18 @@ def main() -> None:
         "slow-network cluster": uniform_cluster(2, 2, intra_gbps=20.0, inter_gbps=1.0, name="slownet"),
     }
     profiler = OpProfiler()
+    # One SearchConfig, one planner per machine: only the problem changes.
+    cfg = SearchConfig(budget=BudgetConfig(iterations=250), seed=0)
     results = {}
     rows = []
     for name, topo in machines.items():
-        res = optimize(graph, topo, profiler=profiler, budget_iters=250, seed=0)
+        res = Planner(graph, topo, profiler=profiler).search("mcmc", cfg)
         results[name] = res
         rows.append(
             {
                 "machine": name,
                 "best_iter_ms": res.best_cost_us / 1e3,
-                "vs_data_parallel": res.init_costs["data_parallel"] / res.best_cost_us,
+                "vs_data_parallel": res.extras["init_costs"]["data_parallel"] / res.best_cost_us,
                 "devices_used": len(res.best_strategy.devices_used()),
             }
         )

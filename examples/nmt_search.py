@@ -26,8 +26,9 @@ import argparse
 from repro.bench import print_table, strategy_rows
 from repro.machine import single_node
 from repro.models import nmt
+from repro.plan import BudgetConfig, ExecutionConfig, Planner, SearchConfig, StoreConfig
 from repro.profiler import OpProfiler
-from repro.search import default_store_root, optimize
+from repro.search import default_store_root
 from repro.soap import data_parallelism, expert_strategy
 from repro.viz import render_layer_summary
 
@@ -58,15 +59,15 @@ def main() -> None:
     profiler = OpProfiler()
     print(f"NMT ({graph.num_ops} ops, {len(graph.param_groups())} weight groups) on {topo.name}\n")
 
-    result = optimize(
-        graph,
-        topo,
-        profiler=profiler,
-        budget_iters=args.iters,
-        seed=0,
-        workers=args.workers,
-        cache_size=args.cache_size,
-        store=args.store_dir,
+    planner = Planner(graph, topo, profiler=profiler)
+    result = planner.search(
+        "mcmc",
+        SearchConfig(
+            budget=BudgetConfig(iterations=args.iters),
+            execution=ExecutionConfig(workers=args.workers, cache_size=args.cache_size),
+            store=StoreConfig(root=args.store_dir),
+            seed=0,
+        ),
     )
     rows = strategy_rows(
         graph,
@@ -75,7 +76,7 @@ def main() -> None:
         strategies={
             "data_parallel": data_parallelism(graph, topo),
             "expert (GNMT)": expert_strategy(graph, topo),
-            "flexflow": result.best_strategy,
+            "flexflow": result,  # strategy_rows unwraps the PlanResult
         },
         profiler=profiler,
     )

@@ -1,16 +1,20 @@
 """Quickstart: find a parallelization strategy for LeNet on 4 GPUs.
 
-Builds an operator graph, describes a machine, runs the execution
-optimizer, and prints the discovered strategy next to the data-parallel
-baseline -- the minimal end-to-end tour of the library.
+Builds an operator graph, describes a machine, and drives the unified
+planner API (:mod:`repro.plan`): one ``Planner`` per ``(graph, machine)``
+problem, one serializable ``SearchConfig`` for search policy, and any
+registered backend -- ``mcmc``, ``optcnn``, ``reinforce``,
+``exhaustive`` -- runnable through the same two entry points,
+``Planner.search`` and ``Planner.compare``.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.bench import print_table
 from repro.machine import single_node
 from repro.models import lenet
+from repro.plan import BudgetConfig, Planner, SearchConfig, comparison_rows
 from repro.profiler import OpProfiler
-from repro.search import optimize
 from repro.sim import simulate_strategy
 from repro.soap import data_parallelism
 from repro.viz import render_strategy
@@ -31,12 +35,26 @@ def main() -> None:
     print(f"data parallelism: {dp.makespan_us / 1e3:.3f} ms/iteration, "
           f"{dp.total_comm_gb * 1e3:.1f} MB moved\n")
 
-    # 4. The execution optimizer: MCMC over the SOAP space (Section 6).
-    result = optimize(graph, topo, profiler=profiler, budget_iters=500, seed=0)
+    # 4. The execution optimizer: MCMC over the SOAP space (Section 6),
+    #    through the unified planner facade.  The config is a frozen
+    #    dataclass that round-trips through JSON (`cfg.to_json()`), ready
+    #    to ship to remote search workers.
+    planner = Planner(graph, topo, profiler=profiler)
+    cfg = SearchConfig(
+        budget=BudgetConfig(iterations=500),
+        seed=0,
+        backend_options={"reinforce": {"episodes": 100}},
+    )
+    result = planner.search("mcmc", cfg)
     print(result.summary(), "\n")
 
     # 5. What the strategy looks like (cf. Figure 13's rendering).
     print(render_strategy(graph, result.best_strategy))
+
+    # 6. The same problem under every automated baseline the paper
+    #    compares against (Section 8.2.3) -- one call, one shared table.
+    results = planner.compare(["mcmc", "optcnn", "reinforce"], cfg)
+    print_table(comparison_rows(results, batch=64), "Backend comparison")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,20 @@ Quickstart::
     print(result.summary())
 """
 
-from repro import baselines, bench, ir, machine, models, profiler, runtime, search, sim, soap, viz
+from repro import (
+    baselines,
+    bench,
+    ir,
+    machine,
+    models,
+    plan,
+    profiler,
+    runtime,
+    search,
+    sim,
+    soap,
+    viz,
+)
 
 __version__ = "0.1.0"
 
@@ -27,6 +40,7 @@ __all__ = [
     "ir",
     "machine",
     "models",
+    "plan",
     "profiler",
     "runtime",
     "search",

@@ -126,13 +126,17 @@ def _edge_time(
     return worst
 
 
-def optcnn_optimize(
+def _optcnn_impl(
     graph: OperatorGraph,
     topology: DeviceTopology,
     profiler: OpProfiler | None = None,
     max_sweeps: int = 8,
 ) -> OptCNNResult:
-    """Minimize OptCNN's additive objective over per-group configurations."""
+    """Minimize OptCNN's additive objective over per-group configurations.
+
+    The engine behind the ``optcnn`` planner backend; call it through
+    :meth:`repro.plan.Planner.search`.
+    """
     profiler = profiler or OpProfiler()
     space = ConfigSpace(graph, topology)
     d = topology.num_devices
@@ -232,4 +236,33 @@ def optcnn_optimize(
         predicted_cost_us=total_cost(),
         sweeps=sweeps,
         candidates_per_group={g: len(c) for g, c in candidates.items()},
+    )
+
+
+def optcnn_optimize(
+    graph: OperatorGraph,
+    topology: DeviceTopology,
+    profiler: OpProfiler | None = None,
+    max_sweeps: int = 8,
+) -> OptCNNResult:
+    """Minimize OptCNN's additive objective over per-group configurations.
+
+    .. deprecated::
+        Thin compatibility wrapper.  Prefer the unified planner API::
+
+            Planner(graph, topology, profiler).search(
+                "optcnn", SearchConfig(backend_options={"optcnn": {"max_sweeps": 8}})
+            )
+    """
+    from repro.plan import Planner, SearchConfig
+
+    res = Planner(graph, topology, profiler=profiler).search(
+        "optcnn",
+        SearchConfig(backend_options={"optcnn": {"max_sweeps": max_sweeps}}),
+    )
+    return OptCNNResult(
+        strategy=res.best_strategy,
+        predicted_cost_us=res.extras["predicted_cost_us"],
+        sweeps=res.extras["sweeps"],
+        candidates_per_group=res.extras["candidates_per_group"],
     )

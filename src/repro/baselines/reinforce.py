@@ -53,7 +53,7 @@ def _softmax(logits: np.ndarray) -> np.ndarray:
     return e / e.sum(axis=-1, keepdims=True)
 
 
-def reinforce_optimize(
+def _reinforce_impl(
     graph: OperatorGraph,
     topology: DeviceTopology,
     profiler: OpProfiler | None = None,
@@ -63,7 +63,11 @@ def reinforce_optimize(
     seed: int = 0,
     training: bool = True,
 ) -> ReinforceResult:
-    """Policy-gradient search over per-group device placements."""
+    """Policy-gradient search over per-group device placements.
+
+    The engine behind the ``reinforce`` planner backend; call it through
+    :meth:`repro.plan.Planner.search`.
+    """
     profiler = profiler or OpProfiler()
     rng = np.random.default_rng(seed)
     d = topology.num_devices
@@ -113,4 +117,43 @@ def reinforce_optimize(
         best_cost_us=best_cost,
         history=history,
         episodes=episodes,
+    )
+
+
+def reinforce_optimize(
+    graph: OperatorGraph,
+    topology: DeviceTopology,
+    profiler: OpProfiler | None = None,
+    episodes: int = 300,
+    lr: float = 1.0,
+    entropy_bonus: float = 0.01,
+    seed: int = 0,
+    training: bool = True,
+) -> ReinforceResult:
+    """Policy-gradient search over per-group device placements.
+
+    .. deprecated::
+        Thin compatibility wrapper.  Prefer the unified planner API::
+
+            Planner(graph, topology, profiler, training).search(
+                "reinforce",
+                SearchConfig(seed=seed, backend_options={"reinforce": {"episodes": 300}}),
+            )
+    """
+    from repro.plan import Planner, SearchConfig
+
+    res = Planner(graph, topology, profiler=profiler, training=training).search(
+        "reinforce",
+        SearchConfig(
+            seed=seed,
+            backend_options={
+                "reinforce": {"episodes": episodes, "lr": lr, "entropy_bonus": entropy_bonus}
+            },
+        ),
+    )
+    return ReinforceResult(
+        strategy=res.best_strategy,
+        best_cost_us=res.best_cost_us,
+        history=res.extras["history"],
+        episodes=res.extras["episodes"],
     )

@@ -8,6 +8,7 @@ from repro.bench.harness import (
     current_scale,
     evaluate_strategy,
     scaled_device_counts,
+    search_config,
     strategy_rows,
 )
 from repro.bench.reporting import format_table, print_table
@@ -20,6 +21,7 @@ __all__ = [
     "current_scale",
     "evaluate_strategy",
     "scaled_device_counts",
+    "search_config",
     "strategy_rows",
     "format_table",
     "print_table",

@@ -13,8 +13,6 @@ import time
 
 import numpy as np
 
-from repro.baselines.optcnn import optcnn_optimize
-from repro.baselines.reinforce import reinforce_optimize
 from repro.bench.harness import (
     BenchScale,
     baseline_strategies,
@@ -22,10 +20,12 @@ from repro.bench.harness import (
     cluster,
     evaluate_strategy,
     scaled_device_counts,
+    search_config,
 )
 from repro.models.lenet import lenet
 from repro.models.mlp import mlp
 from repro.models.rnn import rnnlm_small
+from repro.plan import Planner, comparison_rows
 from repro.profiler.profiler import OpProfiler
 from repro.runtime.data import synthetic_classification, synthetic_images
 from repro.runtime.executor import (
@@ -37,9 +37,7 @@ from repro.runtime.executor import (
 from repro.runtime.reference import ReferenceConfig, reference_execute
 from repro.runtime.training import Trainer
 from repro.search.cache import SimulationCache
-from repro.search.exhaustive import exhaustive_search
 from repro.search.mcmc import MCMCConfig, mcmc_search
-from repro.search.optimizer import optimize
 from repro.sim.full_sim import full_simulate
 from repro.sim.metrics import throughput_samples_per_sec
 from repro.sim.simulator import Simulator
@@ -53,6 +51,7 @@ __all__ = [
     "fig9_end_to_end",
     "fig10a_reinforce",
     "fig10b_optcnn",
+    "fig10_backend_comparison",
     "fig11_sim_accuracy",
     "fig12_search_progress",
     "fig13_fig14_case_study",
@@ -65,7 +64,7 @@ __all__ = [
 
 
 def _flexflow(graph, topo, scale: BenchScale, seed: int = 0, profiler=None):
-    """One FlexFlow search at the bench scale; returns the OptimizeResult.
+    """One FlexFlow search at the bench scale; returns the PlanResult.
 
     ``scale.store_dir`` (``REPRO_CACHE_DIR``) threads the persistent
     strategy store through every figure sweep: reruns over the same
@@ -74,16 +73,8 @@ def _flexflow(graph, topo, scale: BenchScale, seed: int = 0, profiler=None):
     ``table4_warm_cold_search``) manage their own store deliberately and
     do not go through this helper's default.
     """
-    return optimize(
-        graph,
-        topo,
-        profiler=profiler,
-        budget_iters=scale.search_iters,
-        inits=("data_parallel", "random"),
-        seed=seed,
-        workers=scale.search_workers,
-        cache_size=scale.sim_cache_size,
-        store=scale.store_dir,
+    return Planner(graph, topo, profiler=profiler).search(
+        "mcmc", search_config(scale, seed=seed)
     )
 
 
@@ -205,20 +196,17 @@ def fig10a_reinforce(scale: BenchScale, models: tuple[str, ...] = ("inception_v3
     for model in models:
         graph, batch = bench_model(model, scale)
         topo = cluster("k80", 4)
-        profiler = OpProfiler()
-        t0 = time.perf_counter()
-        rl = reinforce_optimize(
-            graph, topo, profiler=profiler, episodes=scale.reinforce_episodes, seed=0
-        )
-        rl_time = time.perf_counter() - t0
-        res = _flexflow(graph, topo, scale, profiler=profiler)
+        planner = Planner(graph, topo, profiler=OpProfiler())
+        cfg = search_config(scale, seed=0)
+        rl = planner.search("reinforce", cfg)
+        res = planner.search("mcmc", cfg)
         rows.append(
             {
                 "model": model,
-                "reinforce_tput": throughput_samples_per_sec(batch, rl.best_cost_us),
+                "reinforce_tput": rl.throughput(batch),
                 "flexflow_tput": res.throughput(batch),
                 "speedup": rl.best_cost_us / res.best_cost_us,
-                "reinforce_search_s": rl_time,
+                "reinforce_search_s": rl.wall_time_s,
                 "flexflow_search_s": res.wall_time_s,
             }
         )
@@ -236,19 +224,50 @@ def fig10b_optcnn(
     for model in models:
         graph, batch = bench_model(model, scale)
         topo = cluster("p100", min(16, scale.max_gpus_p100))
-        profiler = OpProfiler()
-        oc = optcnn_optimize(graph, topo, profiler=profiler)
-        oc_metrics = evaluate_strategy(graph, topo, oc.strategy, profiler)
-        res = _flexflow(graph, topo, scale, profiler=profiler)
+        planner = Planner(graph, topo, profiler=OpProfiler())
+        cfg = search_config(scale, seed=0)
+        oc = planner.search("optcnn", cfg)
+        res = planner.search("mcmc", cfg)
         rows.append(
             {
                 "model": model,
-                "optcnn_tput": throughput_samples_per_sec(batch, oc_metrics.makespan_us),
+                "optcnn_tput": oc.throughput(batch),
                 "flexflow_tput": res.throughput(batch),
-                "speedup": oc_metrics.makespan_us / res.best_cost_us,
+                "speedup": oc.best_cost_us / res.best_cost_us,
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 companion: every registered backend on one (model, cluster) pair.
+# ---------------------------------------------------------------------------
+def fig10_backend_comparison(
+    scale: BenchScale,
+    model: str = "inception_v3",
+    kind: str = "p100",
+    gpus: int = 4,
+    backends: tuple[str, ...] = ("mcmc", "exhaustive", "optcnn", "reinforce"),
+) -> list[dict]:
+    """The headline comparison through one ``Planner.compare`` call.
+
+    All four built-in backends search the same Inception/P100 problem
+    under one :class:`~repro.plan.SearchConfig` and land in one shared
+    table (the surface Section 8 compares systems on).  Exhaustive
+    enumeration of a real model is infeasible, so its candidate lists are
+    truncated to one config per group -- it degrades to the canonical
+    data-parallel-style point rather than blowing up the bench.
+    """
+    graph, batch = bench_model(model, scale)
+    topo = cluster(kind, min(gpus, scale.max_gpus_p100 if kind == "p100" else scale.max_gpus_k80))
+    cfg = search_config(scale, seed=0).replace(
+        backend_options={
+            "reinforce": {"episodes": scale.reinforce_episodes},
+            "exhaustive": {"max_configs_per_op": 1},
+        }
+    )
+    results = Planner(graph, topo, profiler=OpProfiler()).compare(backends, cfg)
+    return comparison_rows(results, batch)
 
 
 # ---------------------------------------------------------------------------
@@ -482,16 +501,11 @@ def table4_parallel_search(
         ("sequential", 1, 0),
         ("parallel+cache", workers, scale.sim_cache_size),
     ):
-        profiler = OpProfiler()
-        res = optimize(
-            graph,
-            topo,
-            profiler=profiler,
-            budget_iters=scale.search_iters,
-            inits=inits,
-            seed=seed,
-            workers=w,
-            cache_size=cache,
+        res = Planner(graph, topo, profiler=OpProfiler()).search(
+            "mcmc",
+            search_config(
+                scale, seed=seed, inits=inits, workers=w, cache_size=cache, store_dir=None
+            ),
         )
         rows.append(
             {
@@ -544,15 +558,9 @@ def table4_warm_cold_search(
     try:
         rows = []
         for label, store in (("no-store", None), ("cold", store_dir), ("warm", store_dir)):
-            res = optimize(
-                graph,
-                topo,
-                profiler=OpProfiler(),
-                budget_iters=scale.search_iters,
-                seed=seed,
-                workers=workers,
-                cache_size=scale.sim_cache_size,
-                store=store,
+            res = Planner(graph, topo, profiler=OpProfiler()).search(
+                "mcmc",
+                search_config(scale, seed=seed, workers=workers, store_dir=store),
             )
             rows.append(
                 {
@@ -561,6 +569,7 @@ def table4_warm_cold_search(
                     "wall_s": res.wall_time_s,
                     "simulations": res.simulations,
                     "store_hit_rate": res.store_stats.hit_rate,
+                    "store_warm_hit_rate": res.store_stats.warm_hit_rate,
                     "store_entries_flushed": res.store_stats.appended,
                 }
             )
@@ -596,24 +605,26 @@ def sec84_optimality(scale: BenchScale) -> list[dict]:
         ),
     }
     for name, (graph, topo, max_cfgs) in cases.items():
-        profiler = OpProfiler()
-        ex = exhaustive_search(graph, topo, profiler=profiler, max_configs_per_op=max_cfgs, prune_every=1)
-        res = optimize(
-            graph,
-            topo,
-            profiler=profiler,
-            budget_iters=max(1000, scale.search_iters),
-            inits=("data_parallel", "random"),
+        planner = Planner(graph, topo, profiler=OpProfiler())
+        cfg = search_config(
+            scale,
             seed=0,
+            workers=1,
+            store_dir=None,
+            budget_iters=max(1000, scale.search_iters),
+        ).replace(
+            backend_options={"exhaustive": {"max_configs_per_op": max_cfgs, "prune_every": 1}}
         )
+        ex = planner.search("exhaustive", cfg)
+        res = planner.search("mcmc", cfg)
         rows.append(
             {
                 "case": name,
                 "optimal_ms": ex.best_cost_us / 1e3,
                 "mcmc_ms": res.best_cost_us / 1e3,
                 "gap_%": (res.best_cost_us / ex.best_cost_us - 1.0) * 100.0,
-                "explored": ex.explored,
-                "pruned": ex.pruned,
+                "explored": ex.extras["explored"],
+                "pruned": ex.extras["pruned"],
             }
         )
     return rows

@@ -17,6 +17,13 @@ from repro.ir.graph import OperatorGraph
 from repro.machine.clusters import k80_cluster, p100_cluster
 from repro.machine.topology import DeviceTopology
 from repro.models.registry import get_model, paper_batch_size
+from repro.plan import (
+    BudgetConfig,
+    ExecutionConfig,
+    PlanResult,
+    SearchConfig,
+    StoreConfig,
+)
 from repro.profiler.profiler import OpProfiler
 from repro.sim.metrics import IterationMetrics, throughput_samples_per_sec
 from repro.sim.simulator import simulate_strategy
@@ -30,6 +37,7 @@ __all__ = [
     "scaled_device_counts",
     "bench_model",
     "evaluate_strategy",
+    "search_config",
     "strategy_rows",
     "baseline_strategies",
 ]
@@ -137,17 +145,58 @@ def evaluate_strategy(
     return simulate_strategy(graph, topology, strategy, profiler)
 
 
+def search_config(
+    scale: BenchScale,
+    *,
+    seed: int = 0,
+    inits: tuple[str, ...] = ("data_parallel", "random"),
+    workers: int | None = None,
+    cache_size: int | None = None,
+    store_dir: "str | None" = ...,  # Ellipsis sentinel: default to scale.store_dir
+    budget_iters: int | None = None,
+) -> SearchConfig:
+    """The scale's knobs as a planner :class:`SearchConfig`.
+
+    Every benchmark search goes through this one translation, so the
+    env-var overrides (``REPRO_WORKERS``/``REPRO_CACHE``/
+    ``REPRO_CACHE_DIR``) reach the unified planner API uniformly.  The
+    backend-specific knobs the scale owns (REINFORCE's episode budget)
+    ride along in ``backend_options``.  Pass ``store_dir=None`` to force
+    persistence *off* even when the scale names a store directory (the
+    controlled warm/cold A-B benches need a deliberately cold store).
+    """
+    return SearchConfig(
+        budget=BudgetConfig(iterations=budget_iters if budget_iters is not None else scale.search_iters),
+        execution=ExecutionConfig(
+            workers=workers if workers is not None else scale.search_workers,
+            cache_size=cache_size if cache_size is not None else scale.sim_cache_size,
+        ),
+        store=StoreConfig(root=scale.store_dir if store_dir is ... else store_dir),
+        inits=tuple(inits),
+        seed=seed,
+        backend_options={"reinforce": {"episodes": scale.reinforce_episodes}},
+    )
+
+
 def strategy_rows(
     graph: OperatorGraph,
     topology: DeviceTopology,
     batch: int,
-    strategies: dict[str, Strategy],
+    strategies: "dict[str, Strategy | PlanResult]",
     profiler: OpProfiler | None = None,
 ) -> list[dict]:
-    """Evaluate several strategies into comparable table rows."""
+    """Evaluate several strategies into comparable table rows.
+
+    Values may be bare :class:`Strategy` objects or whole
+    :class:`~repro.plan.PlanResult`\\ s (their best strategy is used), so
+    planner output drops straight into a comparison table next to the
+    hand-written baselines.
+    """
     profiler = profiler or OpProfiler()
     rows = []
     for name, strat in strategies.items():
+        if isinstance(strat, PlanResult):
+            strat = strat.best_strategy
         m = evaluate_strategy(graph, topology, strat, profiler)
         rows.append(
             {

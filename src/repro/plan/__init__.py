@@ -1,0 +1,104 @@
+"""Unified planner API: one facade over every search backend.
+
+The paper's headline result is a *comparison* -- the MCMC execution
+optimizer against OptCNN, REINFORCE, and globally-optimal exhaustive
+search on the same ``(model, cluster)`` pairs (Section 8).  This package
+gives all of those searchers one backend-agnostic surface:
+
+* :class:`Planner` -- the facade, constructed from
+  ``(graph, topology, profiler, training)``;
+* :class:`SearchConfig` -- a frozen, JSON-round-trippable search policy
+  (structured sub-configs instead of 14 kwargs);
+* :class:`~repro.plan.registry.SearchBackend` + a string-keyed registry
+  (:func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends`) under which ``mcmc``, ``exhaustive``,
+  ``optcnn``, and ``reinforce`` are registered;
+* :class:`PlanResult` -- the common result every backend returns.
+
+Quickstart::
+
+    from repro.plan import Planner, SearchConfig, BudgetConfig
+
+    planner = Planner(graph, topology)
+    result = planner.search("mcmc", SearchConfig(budget=BudgetConfig(iterations=500)))
+    table = planner.compare(["mcmc", "optcnn", "reinforce"])
+
+Migrating from ``repro.search.optimize()``
+------------------------------------------
+``optimize()`` (and the baseline entry points ``exhaustive_search``,
+``optcnn_optimize``, ``reinforce_optimize``) still work as thin
+delegating wrappers, but new code should construct a ``SearchConfig``:
+
+==================  =============================================
+legacy kwarg        ``SearchConfig`` field
+==================  =============================================
+``budget_iters``    ``budget.iterations``
+``time_budget_s``   ``budget.time_s``
+``checkpoint_every``  ``budget.checkpoint_every``
+``adaptive``        ``budget.adaptive``
+(MCMCConfig) ``no_improve_frac``  ``budget.no_improve_frac``
+``workers``         ``execution.workers``
+``cache_size``      ``execution.cache_size``
+``store``           ``store.root``
+``early_stop_cost``  ``early_stop.cost_us``
+``inits``           ``inits``
+``seed``            ``seed``
+``algorithm``       ``algorithm``
+``beta_scale``      ``beta_scale``
+``profiler``        ``Planner(profiler=...)``  (problem, not policy)
+``training``        ``Planner(training=...)``  (problem, not policy)
+(exhaustive) ``max_configs_per_op``  ``backend_options["exhaustive"]``
+(optcnn) ``max_sweeps``             ``backend_options["optcnn"]``
+(reinforce) ``episodes``/``lr``/``entropy_bonus``  ``backend_options["reinforce"]``
+==================  =============================================
+
+``python -m repro.plan --list-backends`` prints the registry (CI runs it
+so backend-registration breakage fails loudly).
+"""
+
+from repro.plan.config import (
+    BudgetConfig,
+    EarlyStopConfig,
+    ExecutionConfig,
+    SearchConfig,
+    StoreConfig,
+)
+from repro.plan.errors import (
+    DuplicateBackendError,
+    PlanError,
+    SearchError,
+    UnknownBackendError,
+)
+from repro.plan.registry import (
+    SearchBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.plan.result import PlanResult, comparison_rows
+from repro.plan.backends import register_builtins
+from repro.plan.planner import Planner
+
+register_builtins()
+
+__all__ = [
+    "Planner",
+    "SearchConfig",
+    "BudgetConfig",
+    "ExecutionConfig",
+    "StoreConfig",
+    "EarlyStopConfig",
+    "PlanResult",
+    "comparison_rows",
+    "SearchBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    "register_builtins",
+    "PlanError",
+    "SearchError",
+    "UnknownBackendError",
+    "DuplicateBackendError",
+]

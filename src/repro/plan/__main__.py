@@ -1,0 +1,48 @@
+"""Console checks for the planner registry.
+
+``python -m repro.plan --list-backends`` prints every registered backend
+and exits non-zero if any of the four built-ins is missing -- CI runs it
+so a refactor that breaks backend registration fails loudly instead of
+surfacing three layers up in a benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.plan import available_backends
+
+BUILTIN_BACKENDS = ("exhaustive", "mcmc", "optcnn", "reinforce")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.plan", description="Planner registry utilities."
+    )
+    ap.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="print registered search backends (exit 1 if a built-in is missing)",
+    )
+    args = ap.parse_args(argv)
+
+    if args.list_backends:
+        names = available_backends()
+        for name in names:
+            print(name)
+        missing = sorted(set(BUILTIN_BACKENDS) - set(names))
+        if missing:
+            print(
+                f"ERROR: built-in backend(s) not registered: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    ap.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

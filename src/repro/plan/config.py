@@ -1,0 +1,188 @@
+"""Structured, serializable search configuration.
+
+:class:`SearchConfig` replaces the kwarg explosion that ``optimize()``
+had accreted (14 growing keyword arguments) with a frozen dataclass of
+frozen sub-configs: budget, execution fan-out, persistent store, and
+early stop each get their own small namespace, every backend consumes
+the same object, and the whole thing round-trips losslessly through
+JSON -- the prerequisite for shipping configs to remote search workers
+(the ROADMAP's ``ChainSpec`` dispatch seam).
+
+Use :meth:`SearchConfig.replace` (or :func:`dataclasses.replace` on any
+sub-config) to derive variants::
+
+    cfg = SearchConfig(budget=BudgetConfig(iterations=500), seed=0)
+    warm = cfg.replace(store=StoreConfig(root="~/.cache/repro"))
+
+``from_dict`` rejects unknown keys at every nesting level, so a config
+serialized by a newer version fails loudly instead of silently dropping
+fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.search.parallel import DEFAULT_CACHE_SIZE
+
+__all__ = [
+    "BudgetConfig",
+    "ExecutionConfig",
+    "StoreConfig",
+    "EarlyStopConfig",
+    "SearchConfig",
+]
+
+
+def _check_keys(cls, data: Mapping[str, Any], label: str) -> None:
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{label} must be a mapping, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} for {label}; valid keys: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class BudgetConfig:
+    """Iteration/time budget of one search chain (legacy ``budget_iters``
+    and friends)."""
+
+    iterations: int = 1000
+    time_s: float | None = None
+    # Stall criterion fraction (Section 6.2 criterion (2)); None disables.
+    no_improve_frac: float | None = 0.5
+    # Adaptive budget reallocation between chains (opt-in; see
+    # repro.search.mcmc).
+    adaptive: bool = False
+    # SearchTrace checkpoint cadence (0 = final checkpoint only).
+    checkpoint_every: int = 0
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BudgetConfig":
+        _check_keys(cls, data, "BudgetConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How chains execute: process fan-out and per-worker cache size."""
+
+    workers: int = 1
+    cache_size: int = DEFAULT_CACHE_SIZE
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionConfig":
+        _check_keys(cls, data, "ExecutionConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Persistent cross-run strategy store (``None`` root disables it)."""
+
+    root: str | None = None
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StoreConfig":
+        _check_keys(cls, data, "StoreConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class EarlyStopConfig:
+    """Target-cost early stop broadcast across chains (``None`` disables)."""
+
+    cost_us: float | None = None
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EarlyStopConfig":
+        _check_keys(cls, data, "EarlyStopConfig")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Everything a :class:`~repro.plan.Planner` backend needs besides the
+    problem itself.
+
+    The problem -- ``(graph, topology, profiler, training)`` -- lives on
+    the :class:`~repro.plan.Planner`; the config is pure search policy
+    and therefore serializable.  ``backend_options`` carries
+    backend-specific knobs keyed by backend name (e.g.
+    ``{"reinforce": {"episodes": 300}}``); each backend validates its own
+    option keys and ignores the other backends' entries.
+    """
+
+    budget: BudgetConfig = BudgetConfig()
+    execution: ExecutionConfig = ExecutionConfig()
+    store: StoreConfig = StoreConfig()
+    early_stop: EarlyStopConfig = EarlyStopConfig()
+    inits: tuple[str, ...] = ("data_parallel", "random")
+    seed: int = 0
+    algorithm: str = "delta"
+    beta_scale: float = 50.0
+    backend_options: dict = field(default_factory=dict)
+
+    # -- derivation --------------------------------------------------------
+    def replace(self, **changes: Any) -> "SearchConfig":
+        """A copy with the given top-level fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def options(self, backend: str) -> dict:
+        """This backend's entry in ``backend_options`` (empty if absent)."""
+        opts = self.backend_options.get(backend, {})
+        if not isinstance(opts, Mapping):
+            raise ValueError(
+                f"backend_options[{backend!r}] must be a mapping, got {type(opts).__name__}"
+            )
+        return dict(opts)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe nested dict (tuples become lists)."""
+        return {
+            "budget": dataclasses.asdict(self.budget),
+            "execution": dataclasses.asdict(self.execution),
+            "store": dataclasses.asdict(self.store),
+            "early_stop": dataclasses.asdict(self.early_stop),
+            "inits": list(self.inits),
+            "seed": self.seed,
+            "algorithm": self.algorithm,
+            "beta_scale": self.beta_scale,
+            "backend_options": {k: dict(v) for k, v in self.backend_options.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys at every level."""
+        _check_keys(cls, data, "SearchConfig")
+        kwargs: dict[str, Any] = dict(data)
+        for name, sub in (
+            ("budget", BudgetConfig),
+            ("execution", ExecutionConfig),
+            ("store", StoreConfig),
+            ("early_stop", EarlyStopConfig),
+        ):
+            if name in kwargs and not isinstance(kwargs[name], sub):
+                kwargs[name] = sub.from_dict(kwargs[name])
+        if "inits" in kwargs:
+            kwargs["inits"] = tuple(kwargs["inits"])
+        if "backend_options" in kwargs:
+            opts = kwargs["backend_options"]
+            if not isinstance(opts, Mapping):
+                raise ValueError("backend_options must be a mapping of backend name -> options")
+            kwargs["backend_options"] = {k: dict(v) for k, v in opts.items()}
+        return cls(**kwargs)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SearchConfig":
+        return cls.from_dict(json.loads(payload))

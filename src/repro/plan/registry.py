@@ -1,0 +1,81 @@
+"""The pluggable search-backend registry.
+
+A *backend* is anything satisfying the :class:`SearchBackend` protocol:
+a ``name`` and a ``run(planner, config) -> PlanResult``.  The built-in
+four -- ``mcmc``, ``exhaustive``, ``optcnn``, ``reinforce`` -- register
+themselves when :mod:`repro.plan` is imported; additional planners
+(a PipeDream-style pipeline partitioner, a SplitBrain hybrid search,
+a remote-dispatch MCMC) slot in with :func:`register_backend` without
+touching the :class:`~repro.plan.planner.Planner` facade or any caller.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.plan.errors import DuplicateBackendError, UnknownBackendError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.plan.config import SearchConfig
+    from repro.plan.planner import Planner
+    from repro.plan.result import PlanResult
+
+__all__ = [
+    "SearchBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+@runtime_checkable
+class SearchBackend(Protocol):
+    """What the planner requires of a search strategy implementation."""
+
+    name: str
+
+    def run(self, planner: "Planner", config: "SearchConfig") -> "PlanResult":
+        """Search ``planner``'s problem under ``config``."""
+        ...
+
+
+_REGISTRY: dict[str, SearchBackend] = {}
+
+
+def register_backend(backend: SearchBackend, *, overwrite: bool = False) -> SearchBackend:
+    """Register ``backend`` under its ``name``.
+
+    Raises :class:`~repro.plan.errors.DuplicateBackendError` when the
+    name is taken and ``overwrite`` is not set -- silent shadowing of a
+    built-in would make ``Planner.search("mcmc")`` mean different things
+    in different import orders.  Returns the backend so it can be used
+    as a decorator-style one-liner.
+    """
+    name = getattr(backend, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend {backend!r} has no usable .name")
+    if name in _REGISTRY and not overwrite:
+        raise DuplicateBackendError(name)
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (raises :class:`UnknownBackendError` if absent)."""
+    if name not in _REGISTRY:
+        raise UnknownBackendError(name, available_backends())
+    del _REGISTRY[name]
+
+
+def get_backend(name: str) -> SearchBackend:
+    """The backend registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(name, available_backends()) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -18,6 +18,7 @@ from repro.search.parallel import (
 )
 from repro.search.store import (
     STORE_FORMAT_VERSION,
+    CompactionStats,
     StoreStats,
     StrategyStore,
     default_store_root,
@@ -32,6 +33,7 @@ __all__ = [
     "config_digest",
     "strategy_fingerprint",
     "STORE_FORMAT_VERSION",
+    "CompactionStats",
     "StoreStats",
     "StrategyStore",
     "default_store_root",

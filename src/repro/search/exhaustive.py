@@ -7,6 +7,14 @@ reference search: ops are assigned configurations in topological order,
 and a partial assignment is pruned when the makespan of the already-
 assigned subgraph (an admissible lower bound -- adding tasks never reduces
 the makespan) meets the best complete strategy found so far.
+
+Complete assignments are evaluated directly on the full graph, so their
+costs are the same pure function of the strategy the MCMC search
+optimizes -- which lets an optional persistent
+:class:`~repro.search.store.StrategyStore` answer complete-strategy
+evaluations across runs *and across backends* (a store warmed by an MCMC
+search serves the exhaustive enumeration of the same problem, and vice
+versa).
 """
 
 from __future__ import annotations
@@ -16,10 +24,10 @@ from dataclasses import dataclass
 from repro.ir.graph import OperatorGraph
 from repro.machine.topology import DeviceTopology
 from repro.profiler.profiler import OpProfiler
+from repro.search.cache import strategy_fingerprint
 from repro.sim.full_sim import full_simulate
 from repro.sim.taskgraph import TaskGraph
 from repro.soap.config import ParallelConfig
-from repro.soap.space import ConfigSpace
 from repro.soap.strategy import Strategy
 
 __all__ = ["ExhaustiveResult", "exhaustive_search"]
@@ -31,6 +39,7 @@ class ExhaustiveResult:
     best_cost_us: float
     explored: int
     pruned: int
+    simulations: int = 0  # actual simulator invocations (bounds + misses)
 
 
 def _subgraph_cost(
@@ -58,13 +67,14 @@ def _subgraph_cost(
     return full_simulate(tg).makespan
 
 
-def exhaustive_search(
+def _exhaustive_impl(
     graph: OperatorGraph,
     topology: DeviceTopology,
     profiler: OpProfiler | None = None,
     training: bool = True,
     max_configs_per_op: int | None = None,
     prune_every: int = 1,
+    store=None,
 ) -> ExhaustiveResult:
     """Branch-and-bound enumeration of the full strategy space.
 
@@ -74,7 +84,11 @@ def exhaustive_search(
     bounding test runtimes while remaining exhaustive over the truncated
     space); ``prune_every`` evaluates the lower bound only at every k-th
     depth to trade pruning power against subgraph-simulation overhead.
+    ``store`` is an optional persistent strategy store consulted for
+    complete assignments (the caller flushes it).
     """
+    from repro.soap.space import ConfigSpace
+
     profiler = profiler or OpProfiler()
     space = ConfigSpace(graph, topology)
     # Enumerate per weight-sharing group (members are config-tied),
@@ -91,7 +105,29 @@ def exhaustive_search(
     best: dict[int, ParallelConfig] | None = None
     explored = 0
     pruned = 0
+    simulations = 0
     partial: dict[int, ParallelConfig] = {}
+
+    def complete_cost() -> float:
+        """Cost of the (complete) current assignment on the full graph.
+
+        Evaluated directly -- not through the subgraph remap -- so the
+        value matches :func:`~repro.sim.simulator.simulate_strategy`
+        exactly and is interchangeable with MCMC store entries.
+        """
+        nonlocal simulations
+        strategy = Strategy(dict(partial))
+        fp = strategy_fingerprint(strategy) if store is not None else None
+        if store is not None:
+            cached = store.get(fp)
+            if cached is not None:
+                return cached
+        tg = TaskGraph(graph, topology, strategy, profiler, training=training)
+        cost = full_simulate(tg).makespan
+        simulations += 1
+        if store is not None:
+            store.record(fp, cost)
+        return cost
 
     def assign(members: tuple[int, ...], cfg: ParallelConfig | None) -> None:
         for m in members:
@@ -101,9 +137,9 @@ def exhaustive_search(
                 partial[m] = cfg
 
     def rec(depth: int) -> None:
-        nonlocal best_cost, best, explored, pruned
+        nonlocal best_cost, best, explored, pruned, simulations
         if depth == len(groups):
-            cost = _subgraph_cost(graph, topology, profiler, partial, training)
+            cost = complete_cost()
             explored += 1
             if cost < best_cost:
                 best_cost = cost
@@ -114,6 +150,7 @@ def exhaustive_search(
             assign(members, cfg)
             if depth % prune_every == 0 and depth > 0:
                 lb = _subgraph_cost(graph, topology, profiler, partial, training)
+                simulations += 1
                 if lb >= best_cost:
                     pruned += 1
                     assign(members, None)
@@ -122,10 +159,54 @@ def exhaustive_search(
             assign(members, None)
 
     rec(0)
-    assert best is not None, "empty strategy space"
+    if best is None:
+        from repro.plan.errors import SearchError
+
+        raise SearchError("exhaustive search over an empty strategy space")
     return ExhaustiveResult(
         best_strategy=Strategy(best),
         best_cost_us=best_cost,
         explored=explored,
         pruned=pruned,
+        simulations=simulations,
+    )
+
+
+def exhaustive_search(
+    graph: OperatorGraph,
+    topology: DeviceTopology,
+    profiler: OpProfiler | None = None,
+    training: bool = True,
+    max_configs_per_op: int | None = None,
+    prune_every: int = 1,
+) -> ExhaustiveResult:
+    """Branch-and-bound enumeration of the full strategy space.
+
+    .. deprecated::
+        Thin compatibility wrapper.  Prefer the unified planner API::
+
+            Planner(graph, topology, profiler, training).search(
+                "exhaustive",
+                SearchConfig(backend_options={"exhaustive": {"max_configs_per_op": 3}}),
+            )
+    """
+    from repro.plan import Planner, SearchConfig
+
+    res = Planner(graph, topology, profiler=profiler, training=training).search(
+        "exhaustive",
+        SearchConfig(
+            backend_options={
+                "exhaustive": {
+                    "max_configs_per_op": max_configs_per_op,
+                    "prune_every": prune_every,
+                }
+            }
+        ),
+    )
+    return ExhaustiveResult(
+        best_strategy=res.best_strategy,
+        best_cost_us=res.best_cost_us,
+        explored=res.extras["explored"],
+        pruned=res.extras["pruned"],
+        simulations=res.simulations,
     )

@@ -1,44 +1,26 @@
-"""The execution optimizer: multi-start MCMC over the SOAP space.
+"""Legacy entry point to the execution optimizer (Section 6.2).
 
-Mirrors Section 6.2's search procedure: the optimizer seeds chains from
-existing strategies (data parallelism by default, optionally the expert
-strategy) plus randomly generated strategies, runs each chain until its
-budget is exhausted or it stalls, and returns the best strategy any chain
-discovered.
-
-Chains execute through the parallel orchestrator
-(:mod:`repro.search.parallel`): ``workers=1`` runs them sequentially
-in-process, ``workers>1`` fans them out over a process pool.  Results are
-identical either way (per-chain seeded RNG + pure-function costs); each
-worker consults a bounded strategy-evaluation cache
-(:mod:`repro.search.cache`) and, when ``store`` names a directory, the
-persistent cross-run store (:mod:`repro.search.store`).  Aggregate
-hit/miss totals for both layers are surfaced on :class:`OptimizeResult`,
-summed from the per-chain deltas each :class:`ChainResult` carries back
-from its worker -- per-worker structures die with the pool, the deltas
-survive it.
+The multi-start MCMC orchestration itself now lives in the unified
+planner API (:class:`repro.plan.backends.McmcBackend`); this module keeps
+the historical ``optimize()`` signature as a thin delegating wrapper and
+the :class:`OptimizeResult` type it returns.  Results are bit-identical
+to ``Planner.search("mcmc", cfg)`` for any worker count -- the wrapper
+only repackages the :class:`~repro.plan.result.PlanResult`.
 """
 
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
-from functools import reduce
-
-import numpy as np
 
 from repro.ir.graph import OperatorGraph
 from repro.machine.topology import DeviceTopology
 from repro.profiler.profiler import OpProfiler
 from repro.search.cache import CacheStats
-from repro.search.mcmc import MCMCConfig, SearchTrace
-from repro.search.parallel import DEFAULT_CACHE_SIZE, ChainResult, ChainSpec, run_chains
+from repro.search.mcmc import SearchTrace
+from repro.search.parallel import DEFAULT_CACHE_SIZE, ChainResult
 from repro.search.store import StoreStats
 from repro.sim.metrics import IterationMetrics, throughput_samples_per_sec
-from repro.sim.simulator import simulate_strategy
-from repro.soap.presets import data_parallelism, expert_strategy
-from repro.soap.space import ConfigSpace
 from repro.soap.strategy import Strategy
 
 __all__ = ["OptimizeResult", "optimize"]
@@ -130,137 +112,57 @@ def optimize(
 ) -> OptimizeResult:
     """Find a fast parallelization strategy for ``graph`` on ``topology``.
 
-    Parameters
-    ----------
-    budget_iters:
-        MCMC iterations per initial candidate (the per-chain budget).
-    time_budget_s:
-        Optional wall-clock budget per chain; when set, the iteration
-        budget still caps the chain.
-    inits:
-        Initial candidates: any of ``"data_parallel"``, ``"expert"``,
-        ``"random"`` (Section 6.2 uses data parallelism plus a random
-        strategy by default, as do we).
-    algorithm:
-        ``"delta"`` (Algorithm 2) or ``"full"`` (Algorithm 1) simulation
-        inside the chain.
-    workers:
-        Process count for chain fan-out.  The best strategy/cost is
-        independent of ``workers`` for a fixed ``seed``.
-    cache_size:
-        Capacity of each worker's strategy-evaluation cache (0 disables
-        caching; results are unchanged, only wall time).
-    early_stop_cost:
-        Optional target cost: once any chain's best reaches it, the
-        remaining chains stop early (see :mod:`repro.search.parallel`
-        for the determinism trade-off).
-    checkpoint_every:
-        Checkpoint cadence recorded into each chain's ``SearchTrace``.
-    store:
-        Directory of the persistent cross-run strategy store, or ``None``
-        to disable persistence.  For iteration-bounded chains results are
-        identical either way -- a warm store only skips simulations.
-        With *time-based* stopping (``time_budget_s``) the stop point
-        depends on wall-clock, so anything that changes speed -- a warm
-        store included -- changes where chains stop and thus possibly the
-        result.  ``REPRO_CACHE_DIR`` supplies a default through the bench
-        harness, not here.
-    adaptive:
-        Opt into adaptive chain scheduling: stalled chains donate their
-        unused iteration budget to still-improving ones.  Off by default;
-        when off, results are bit-identical to the fixed-budget search.
+    .. deprecated::
+        Thin compatibility wrapper over the unified planner API; see the
+        kwarg -> :class:`~repro.plan.SearchConfig` migration table in the
+        :mod:`repro.plan` docstring.  New code::
+
+            from repro.plan import Planner, SearchConfig, BudgetConfig
+
+            planner = Planner(graph, topology, profiler, training)
+            result = planner.search("mcmc", SearchConfig(budget=BudgetConfig(iterations=1000)))
+
+    Raises :class:`repro.plan.SearchError` when no chain produces a
+    strategy (e.g. an early-stop target every chain is skipped by); this
+    used to die on a bare ``AssertionError``.
     """
-    profiler = profiler or OpProfiler()
-    workers = max(1, workers)
-    space = ConfigSpace(graph, topology)
-    rng = np.random.default_rng(seed)
-
-    candidates: dict[str, Strategy] = {}
-    kind_counts: dict[str, int] = {}
-    for kind in inits:
-        if kind == "data_parallel":
-            strat = data_parallelism(graph, topology)
-        elif kind == "expert":
-            strat = expert_strategy(graph, topology)
-        elif kind == "random":
-            strat = space.random_strategy(rng)
-        else:
-            raise ValueError(f"unknown init {kind!r}")
-        # Repeated kinds (e.g. one random chain per worker) get numbered
-        # names so every occurrence becomes its own chain.
-        n = kind_counts.get(kind, 0)
-        kind_counts[kind] = n + 1
-        candidates[kind if n == 0 else f"{kind}_{n + 1}"] = strat
-
-    specs = [
-        ChainSpec(
-            name=name,
-            init=init,
-            config=MCMCConfig(
-                beta_scale=beta_scale,
-                iterations=budget_iters,
-                time_budget_s=time_budget_s,
-                seed=seed + 1000 * chain_idx,
-                checkpoint_every=checkpoint_every,
-                adaptive=adaptive,
-            ),
-        )
-        for chain_idx, (name, init) in enumerate(candidates.items())
-    ]
-
-    t0 = time.perf_counter()
-    results = run_chains(
-        graph,
-        topology,
-        specs,
-        profiler,
-        workers=workers,
-        cache_size=cache_size,
-        algorithm=algorithm,
-        training=training,
-        early_stop_cost=early_stop_cost,
-        store_root=store,
+    from repro.plan import (
+        BudgetConfig,
+        EarlyStopConfig,
+        ExecutionConfig,
+        Planner,
+        SearchConfig,
+        StoreConfig,
     )
-    wall = time.perf_counter() - t0
 
-    best_strategy: Strategy | None = None
-    best_cost = float("inf")
-    traces: dict[str, SearchTrace] = {}
-    init_costs: dict[str, float] = {}
-    simulations = 0
-    for r in results:
-        if r.skipped:
-            continue
-        traces[r.name] = r.trace
-        init_costs[r.name] = r.init_cost_us
-        simulations += r.trace.simulations + 1  # +1: the chain's init simulation
-        if r.best_cost_us < best_cost:
-            best_cost = r.best_cost_us
-            best_strategy = r.best_strategy
-
-    # Aggregate per-chain accounting deltas: the authoritative totals,
-    # since per-worker caches/stores are gone once the pool shuts down.
-    cache_stats = reduce(CacheStats.merge, (r.cache for r in results), CacheStats())
-    store_stats = reduce(StoreStats.merge, (r.store for r in results), StoreStats())
-
-    assert best_strategy is not None, "optimize() requires at least one init"
-    metrics = simulate_strategy(graph, topology, best_strategy, profiler, training=training)
-    # Report the worker count actually observed (distinct processes that
-    # ran chains), not the request: run_chains clamps to the chain count
-    # and falls back to in-process execution on unpicklable inputs.
-    observed_workers = len({r.worker_pid for r in results}) or 1
+    config = SearchConfig(
+        budget=BudgetConfig(
+            iterations=budget_iters,
+            time_s=time_budget_s,
+            checkpoint_every=checkpoint_every,
+            adaptive=adaptive,
+        ),
+        execution=ExecutionConfig(workers=workers, cache_size=cache_size),
+        store=StoreConfig(root=os.fspath(store) if store is not None else None),
+        early_stop=EarlyStopConfig(cost_us=early_stop_cost),
+        inits=tuple(inits),
+        seed=seed,
+        algorithm=algorithm,
+        beta_scale=beta_scale,
+    )
+    res = Planner(graph, topology, profiler=profiler, training=training).search("mcmc", config)
     return OptimizeResult(
-        best_strategy=best_strategy,
-        best_cost_us=best_cost,
-        metrics=metrics,
-        traces=traces,
-        init_costs=init_costs,
-        wall_time_s=wall,
-        simulations=simulations,
-        workers=observed_workers,
-        cache_hits=cache_stats.hits,
-        cache_misses=cache_stats.misses,
-        cache_stats=cache_stats,
-        store_stats=store_stats,
-        chains=results,
+        best_strategy=res.best_strategy,
+        best_cost_us=res.best_cost_us,
+        metrics=res.metrics,
+        traces=res.extras["traces"],
+        init_costs=res.extras["init_costs"],
+        wall_time_s=res.wall_time_s,
+        simulations=res.simulations,
+        workers=res.extras["workers"],
+        cache_hits=res.cache_stats.hits,
+        cache_misses=res.cache_stats.misses,
+        cache_stats=res.cache_stats,
+        store_stats=res.store_stats,
+        chains=res.extras["chains"],
     )

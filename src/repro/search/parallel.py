@@ -220,6 +220,7 @@ def _store_delta(after: StoreStats, before: StoreStats) -> StoreStats:
         loaded=after.loaded,
         hits=after.hits - before.hits,
         misses=after.misses - before.misses,
+        warm_hits=after.warm_hits - before.warm_hits,
         appended=after.appended - before.appended,
         dropped=after.dropped,
     )

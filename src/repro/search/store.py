@@ -66,6 +66,7 @@ __all__ = [
     "search_context",
     "default_store_root",
     "StoreStats",
+    "CompactionStats",
     "StrategyStore",
 ]
 
@@ -185,6 +186,10 @@ class StoreStats:
     loaded: int = 0  # entries read from disk at open
     hits: int = 0
     misses: int = 0
+    # Hits answered by entries that came from *disk* (the snapshot loaded
+    # at open, or merged by a reload) rather than recorded by this run --
+    # i.e. the cross-run persistence actually paying off.
+    warm_hits: int = 0
     appended: int = 0  # new entries flushed to disk
     dropped: int = 0  # corrupt/torn lines skipped during load
 
@@ -196,14 +201,64 @@ class StoreStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def cold_hits(self) -> int:
+        """Hits on entries recorded during this run (not from disk)."""
+        return self.hits - self.warm_hits
+
+    @property
+    def warm_hit_rate(self) -> float:
+        return self.warm_hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def cold_hit_rate(self) -> float:
+        return self.cold_hits / self.lookups if self.lookups else 0.0
+
     def merge(self, other: "StoreStats") -> "StoreStats":
         return StoreStats(
             loaded=max(self.loaded, other.loaded),
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
+            warm_hits=self.warm_hits + other.warm_hits,
             appended=self.appended + other.appended,
             dropped=max(self.dropped, other.dropped),
         )
+
+
+@dataclass
+class CompactionStats:
+    """Outcome of one :meth:`StrategyStore.compact` sweep."""
+
+    kept: int = 0  # unique entries surviving the rewrite
+    duplicates_dropped: int = 0  # redundant records removed
+    corrupt_dropped: int = 0  # unparseable lines removed
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        return max(0, self.bytes_before - self.bytes_after)
+
+
+def _parse_record(line: str) -> tuple[int, float] | None:
+    """Parse one shard line into ``(fingerprint, cost)``; ``None`` if invalid.
+
+    Strict-format records only: a torn write can truncate a line to a
+    *shorter but still parseable* prefix ('0x1.9' from '0x1.91eb...p+13'
+    parses to a wildly wrong cost), so both fields must round-trip to
+    their canonical encodings exactly.
+    """
+    fields = line.split()
+    if len(fields) != 2 or len(fields[0]) != _FP_HEX_CHARS:
+        return None
+    try:
+        fp = int(fields[0], 16)
+        cost = float.fromhex(fields[1])
+    except ValueError:
+        return None
+    if cost != cost or cost < 0.0 or cost.hex() != fields[1]:
+        return None
+    return fp, cost
 
 
 class _FileLock:
@@ -237,12 +292,17 @@ class StrategyStore:
     """
 
     def __init__(self, root: str | os.PathLike, context: str):
-        self.root = Path(root)
+        # expanduser: config files and CLI flags routinely say "~/.cache/...";
+        # without it the shards land in a literal cwd-relative "~" directory.
+        self.root = Path(root).expanduser()
         self.context = context
         self.path = self.root / f"{context}.shard"
         self.stats = StoreStats()
         self._snapshot: dict[int, float] = {}
         self._pending: dict[int, float] = {}
+        # Fingerprints whose value came from disk (initial load or a
+        # reload merge) -- hits on these count as *warm* hits.
+        self._warm: set[int] = set()
         self._writable = True
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -266,26 +326,14 @@ class StrategyStore:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            fields = line.split()
-            # Strict-format records only: a torn write can truncate a line
-            # to a *shorter but still parseable* prefix ('0x1.9' from
-            # '0x1.91eb...p+13' parses to a wildly wrong cost), so both
-            # fields must round-trip to their canonical encodings exactly.
-            if len(fields) != 2 or len(fields[0]) != _FP_HEX_CHARS:
+            record = _parse_record(line)
+            if record is None:
                 self.stats.dropped += 1
                 continue
-            try:
-                fp = int(fields[0], 16)
-                cost = float.fromhex(fields[1])
-            except ValueError:
-                self.stats.dropped += 1
-                continue
-            if cost != cost or cost < 0.0 or cost.hex() != fields[1]:
-                self.stats.dropped += 1
-                continue
-            self._snapshot[fp] = cost
+            self._snapshot[record[0]] = record[1]
 
     def _load(self) -> None:
+        before = set(self._snapshot)
         try:
             with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
                 with _FileLock(fh, exclusive=False):
@@ -298,6 +346,10 @@ class StrategyStore:
                 RuntimeWarning,
                 stacklevel=2,
             )
+        # Entries we did not already know about came from disk: hits on
+        # them are warm hits.  Our own recorded entries stay cold even
+        # after a flush + reload round-trip (they are in ``before``).
+        self._warm.update(fp for fp in self._snapshot if fp not in before)
         self.stats.loaded = len(self._snapshot)
 
     def reload(self) -> int:
@@ -319,6 +371,8 @@ class StrategyStore:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        if fingerprint in self._warm:
+            self.stats.warm_hits += 1
         return cost
 
     def record(self, fingerprint: int, cost_us: float) -> None:
@@ -365,6 +419,64 @@ class StrategyStore:
             return 0
         self.stats.appended += len(pending)
         return len(pending)
+
+    def compact(self) -> CompactionStats:
+        """Rewrite the shard in place, dropping duplicate fingerprints.
+
+        Shards only ever append during searches: concurrent writers can
+        each flush the same fingerprint, and every batch adds separator
+        lines, so a long-lived shard grows past its information content
+        (the ROADMAP's "shards only append" item).  Compaction re-reads
+        the file under the *exclusive* lock (no reader or writer can
+        interleave), keeps the last record per fingerprint, and rewrites
+        header + unique records.  Corrupt lines are dropped for good.
+        Like every other store operation it degrades instead of raising:
+        a missing or unwritable shard returns an all-zero
+        :class:`CompactionStats` with a ``RuntimeWarning``.
+        """
+        try:
+            with open(self.path, "r+", encoding="utf-8", errors="replace") as fh:
+                with _FileLock(fh, exclusive=True):
+                    bytes_before = os.fstat(fh.fileno()).st_size
+                    entries: dict[int, float] = {}
+                    records = corrupt = 0
+                    for line in fh:
+                        line = line.strip()
+                        if not line or line.startswith("#"):
+                            continue  # headers/separators are not records
+                        record = _parse_record(line)
+                        if record is None:
+                            corrupt += 1
+                            continue
+                        records += 1
+                        entries[record[0]] = record[1]
+                    fh.seek(0)
+                    fh.truncate()
+                    fh.write(f"{_HEADER_PREFIX} v{STORE_FORMAT_VERSION} ctx={self.context}\n")
+                    for fp, cost in entries.items():
+                        fh.write(f"{fp:032x} {float(cost).hex()}\n")
+                    fh.flush()
+                    bytes_after = os.fstat(fh.fileno()).st_size
+        except FileNotFoundError:
+            return CompactionStats()  # nothing persisted yet: a no-op sweep
+        except OSError as exc:
+            warnings.warn(
+                f"strategy store compaction of {self.path} failed ({exc}); shard left as-is",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return CompactionStats()
+        # The rewrite is the authoritative disk state; fold it into the
+        # snapshot (disk-sourced entries count as warm, as in _load).
+        self._warm.update(fp for fp in entries if fp not in self._snapshot)
+        self._snapshot.update(entries)
+        return CompactionStats(
+            kept=len(entries),
+            duplicates_dropped=records - len(entries),
+            corrupt_dropped=corrupt,
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StrategyStore({str(self.path)!r}, entries={len(self)})"

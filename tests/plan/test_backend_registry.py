@@ -1,0 +1,114 @@
+"""Backend registry: registration, lookup, and error paths."""
+
+import pytest
+
+from repro.plan import (
+    DuplicateBackendError,
+    SearchBackend,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+
+class _DummyBackend:
+    name = "dummy-test-backend"
+
+    def run(self, planner, config):  # pragma: no cover - never executed
+        raise NotImplementedError
+
+
+class TestBuiltins:
+    def test_all_four_registered(self):
+        names = available_backends()
+        for expected in ("mcmc", "exhaustive", "optcnn", "reinforce"):
+            assert expected in names
+
+    def test_get_backend_returns_protocol_instances(self):
+        for name in ("mcmc", "exhaustive", "optcnn", "reinforce"):
+            backend = get_backend(name)
+            assert isinstance(backend, SearchBackend)
+            assert backend.name == name
+
+
+class TestErrorPaths:
+    def test_unknown_backend_name(self):
+        with pytest.raises(UnknownBackendError, match="no-such-backend"):
+            get_backend("no-such-backend")
+
+    def test_unknown_backend_error_lists_available(self):
+        with pytest.raises(UnknownBackendError, match="mcmc"):
+            get_backend("no-such-backend")
+
+    def test_unknown_backend_is_a_key_error(self):
+        """Broad ``except KeyError`` handlers keep working."""
+        with pytest.raises(KeyError):
+            get_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        backend = _DummyBackend()
+        register_backend(backend)
+        try:
+            with pytest.raises(DuplicateBackendError, match="dummy-test-backend"):
+                register_backend(_DummyBackend())
+        finally:
+            unregister_backend(backend.name)
+        assert backend.name not in available_backends()
+
+    def test_duplicate_builtin_rejected_without_overwrite(self):
+        with pytest.raises(DuplicateBackendError):
+            register_backend(get_backend("mcmc"))
+
+    def test_overwrite_allows_replacement(self):
+        original = get_backend("mcmc")
+        try:
+            replacement = _DummyBackend()
+            replacement.name = "mcmc"
+            register_backend(replacement, overwrite=True)
+            assert get_backend("mcmc") is replacement
+        finally:
+            register_backend(original, overwrite=True)
+        assert get_backend("mcmc") is original
+
+    def test_unregister_unknown_name(self):
+        with pytest.raises(UnknownBackendError):
+            unregister_backend("never-registered")
+
+    def test_nameless_backend_rejected(self):
+        class Nameless:
+            def run(self, planner, config):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="name"):
+            register_backend(Nameless())
+
+
+class TestCustomBackend:
+    def test_custom_backend_usable_through_planner(self, lenet_graph, topo4):
+        """A third-party planner slots in without touching the facade."""
+        from repro.plan import Planner, PlanResult, SearchConfig
+        from repro.soap.presets import data_parallelism
+
+        class DataParallelBackend:
+            name = "always-dp"
+
+            def run(self, planner, config):
+                strategy = data_parallelism(planner.graph, planner.topology)
+                metrics = planner.evaluate(strategy)
+                return PlanResult(
+                    backend=self.name,
+                    best_strategy=strategy,
+                    best_cost_us=metrics.makespan_us,
+                    metrics=metrics,
+                    simulations=1,
+                )
+
+        register_backend(DataParallelBackend())
+        try:
+            res = Planner(lenet_graph, topo4).search("always-dp", SearchConfig())
+            assert res.backend == "always-dp"
+            assert res.best_cost_us == pytest.approx(res.metrics.makespan_us)
+        finally:
+            unregister_backend("always-dp")

@@ -1,10 +1,16 @@
-"""Tests for the MCMC optimizer and the exhaustive reference search."""
+"""Tests for the MCMC optimizer and the exhaustive reference search.
+
+The optimizer-level tests drive the unified planner API
+(``Planner.search``); a small legacy class keeps the thin ``optimize()``
+/ ``exhaustive_search()`` wrappers covered.
+"""
 
 import numpy as np
 import pytest
 
 from repro.machine.clusters import single_node
 from repro.models.mlp import mlp
+from repro.plan import BudgetConfig, Planner, SearchConfig
 from repro.profiler.profiler import OpProfiler
 from repro.search.exhaustive import exhaustive_search
 from repro.search.mcmc import MCMCConfig, mcmc_search
@@ -12,6 +18,12 @@ from repro.search.optimizer import optimize
 from repro.sim.simulator import Simulator, simulate_strategy
 from repro.soap.presets import data_parallelism
 from repro.soap.space import ConfigSpace
+
+
+def plan_search(graph, topo, iterations, seed=0, inits=("data_parallel", "random"), **kw):
+    """One planner-API mcmc search with the common test knobs."""
+    cfg = SearchConfig(budget=BudgetConfig(iterations=iterations), inits=inits, seed=seed, **kw)
+    return Planner(graph, topo).search("mcmc", cfg)
 
 
 class TestMCMC:
@@ -97,34 +109,46 @@ class TestMCMC:
 
 class TestOptimizer:
     def test_result_fields_and_summary(self, lenet_graph, topo4):
-        res = optimize(lenet_graph, topo4, budget_iters=60, seed=0)
+        res = plan_search(lenet_graph, topo4, iterations=60)
         assert res.best_cost_us > 0
-        assert res.best_cost_us <= res.init_costs["data_parallel"] + 1e-9
+        assert res.best_cost_us <= res.extras["init_costs"]["data_parallel"] + 1e-9
         assert res.simulations > 0
         assert res.wall_time_s > 0
         assert "best per-iteration time" in res.summary()
         assert res.throughput(batch=16) == pytest.approx(16 / (res.best_cost_us / 1e6))
 
     def test_valid_best_strategy(self, lenet_graph, topo4):
-        res = optimize(lenet_graph, topo4, budget_iters=60, seed=0)
+        res = plan_search(lenet_graph, topo4, iterations=60)
         res.best_strategy.validate(lenet_graph, topo4)
 
     def test_expert_init_supported(self, lenet_graph, topo4):
-        res = optimize(lenet_graph, topo4, budget_iters=40, inits=("expert",), seed=0)
-        assert "expert" in res.init_costs
+        res = plan_search(lenet_graph, topo4, iterations=40, inits=("expert",))
+        assert "expert" in res.extras["init_costs"]
 
     def test_unknown_init_rejected(self, lenet_graph, topo4):
         with pytest.raises(ValueError):
-            optimize(lenet_graph, topo4, budget_iters=10, inits=("alien",))
+            plan_search(lenet_graph, topo4, iterations=10, inits=("alien",))
 
     def test_group_configs_stay_tied(self, tiny_rnn_graph, topo4):
-        res = optimize(tiny_rnn_graph, topo4, budget_iters=60, seed=1)
+        res = plan_search(tiny_rnn_graph, topo4, iterations=60, seed=1)
         res.best_strategy.validate(tiny_rnn_graph, topo4)  # group consistency
 
     def test_full_algorithm_matches_delta_quality(self, lenet_graph, topo4):
-        rd = optimize(lenet_graph, topo4, budget_iters=50, seed=4, algorithm="delta")
-        rf = optimize(lenet_graph, topo4, budget_iters=50, seed=4, algorithm="full")
+        rd = plan_search(lenet_graph, topo4, iterations=50, seed=4, algorithm="delta")
+        rf = plan_search(lenet_graph, topo4, iterations=50, seed=4, algorithm="full")
         assert rd.best_cost_us == pytest.approx(rf.best_cost_us, rel=1e-9)
+
+
+class TestLegacyWrapper:
+    """The deprecated ``optimize()`` surface still works and matches."""
+
+    def test_optimize_matches_planner(self, lenet_graph, topo4):
+        legacy = optimize(lenet_graph, topo4, budget_iters=60, seed=0)
+        modern = plan_search(lenet_graph, topo4, iterations=60, seed=0)
+        assert legacy.best_cost_us == modern.best_cost_us
+        assert legacy.best_strategy.signature() == modern.best_strategy.signature()
+        assert legacy.init_costs == modern.extras["init_costs"]
+        assert "best per-iteration time" in legacy.summary()
 
 
 class TestExhaustive:

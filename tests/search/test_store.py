@@ -334,3 +334,104 @@ class TestSearchEquivalence:
         warm = optimize(graph, topo, budget_iters=60, seed=1, workers=1, store=str(tmp_path))
         assert warm.store_stats.hits > 0
         assert warm.best_cost_us == optimize(graph, topo, budget_iters=60, seed=1).best_cost_us
+
+
+class TestWarmColdAccounting:
+    def test_warm_hits_split_from_cold_hits(self, tmp_path):
+        store = StrategyStore(tmp_path, CTX)
+        store.record(1, 1.0)
+        store.flush()
+        again = StrategyStore(tmp_path, CTX)  # fp 1 loaded from disk: warm
+        again.record(2, 2.0)  # recorded this run: cold
+        assert again.get(1) == 1.0
+        assert again.get(2) == 2.0
+        assert again.get(3) is None
+        s = again.stats
+        assert (s.hits, s.warm_hits, s.cold_hits) == (2, 1, 1)
+        assert s.warm_hit_rate == pytest.approx(1 / 3)
+        assert s.cold_hit_rate == pytest.approx(1 / 3)
+
+    def test_own_flushed_entries_stay_cold_after_reload(self, tmp_path):
+        store = StrategyStore(tmp_path, CTX)
+        store.record(5, 5.0)
+        store.flush()
+        store.reload()  # re-reads its own entry from disk
+        assert store.get(5) == 5.0
+        assert store.stats.warm_hits == 0  # we computed it; not a disk win
+
+    def test_peer_entries_merged_by_reload_count_warm(self, tmp_path):
+        mine = StrategyStore(tmp_path, CTX)
+        peer = StrategyStore(tmp_path, CTX)
+        peer.record(6, 6.0)
+        peer.flush()
+        assert mine.reload() == 1
+        assert mine.get(6) == 6.0
+        assert mine.stats.warm_hits == 1
+
+    def test_warm_search_reports_warm_hits(self, tmp_path):
+        graph = mlp(batch=8, in_dim=16, hidden=(16,), num_classes=4)
+        topo = single_node(2, "p100")
+        cold = optimize(graph, topo, budget_iters=60, seed=0, store=str(tmp_path))
+        assert cold.store_stats.warm_hits == 0  # nothing was on disk yet
+        warm = optimize(graph, topo, budget_iters=60, seed=0, store=str(tmp_path))
+        assert warm.store_stats.warm_hits == warm.store_stats.hits > 0
+
+
+class TestCompaction:
+    def test_compact_dedupes_and_preserves_content(self, tmp_path):
+        # Two handles flushing the same fingerprints produce duplicate
+        # records (each handle dedupes only against its own snapshot).
+        for _ in range(3):
+            h = StrategyStore(tmp_path, CTX)
+            h._snapshot.clear()
+            for fp in range(10):
+                h.record(fp, float(fp) + 0.5)
+            h.flush()
+        stats = StrategyStore(tmp_path, CTX).compact()
+        assert stats.kept == 10
+        assert stats.duplicates_dropped == 20
+        assert stats.corrupt_dropped == 0
+        assert stats.bytes_after < stats.bytes_before
+        fresh = StrategyStore(tmp_path, CTX)
+        assert fresh.stats.loaded == 10
+        for fp in range(10):
+            assert fresh.get(fp) == float(fp) + 0.5
+
+    def test_compact_drops_corrupt_lines_for_good(self, tmp_path):
+        store = StrategyStore(tmp_path, CTX)
+        store.record(1, 1.0)
+        store.flush()
+        with open(_shard(tmp_path), "a", encoding="utf-8") as fh:
+            fh.write("garbage line\n")
+            fh.write(f"{2:032x} 0x1.8p+")  # torn tail, no newline
+        stats = StrategyStore(tmp_path, CTX).compact()
+        assert stats.kept == 1
+        assert stats.corrupt_dropped == 2
+        fresh = StrategyStore(tmp_path, CTX)
+        assert fresh.stats.dropped == 0  # the shard is pristine again
+        assert fresh.get(1) == 1.0
+
+    def test_compact_missing_shard_is_noop(self, tmp_path):
+        stats = StrategyStore(tmp_path, CTX).compact()
+        assert stats.kept == 0 and stats.duplicates_dropped == 0
+
+    def test_compact_rewrites_header(self, tmp_path):
+        store = StrategyStore(tmp_path, CTX)
+        store.record(1, 1.0)
+        store.flush()
+        store.compact()
+        with open(_shard(tmp_path), encoding="utf-8") as fh:
+            first = fh.readline()
+        assert first.startswith("#repro-strategy-store")
+        assert CTX in first
+
+    def test_compacted_store_still_warms_searches(self, tmp_path):
+        graph = mlp(batch=8, in_dim=16, hidden=(16,), num_classes=4)
+        topo = single_node(2, "p100")
+        cold = optimize(graph, topo, budget_iters=60, seed=3, store=str(tmp_path))
+        ctx = search_context(graph, topo)
+        StrategyStore(tmp_path, ctx).compact()
+        warm = optimize(graph, topo, budget_iters=60, seed=3, store=str(tmp_path))
+        assert warm.best_cost_us == cold.best_cost_us
+        assert warm.store_stats.misses == 0
+        assert warm.simulations == len(warm.chains)
