@@ -56,6 +56,26 @@ def main() -> None:
     results = planner.compare(["mcmc", "optcnn", "reinforce"], cfg)
     print_table(comparison_rows(results, batch=64), "Backend comparison")
 
+    # 7. Distributed search: the MCMC chains can run on worker daemons
+    #    instead of this process.  Start one per machine:
+    #
+    #        python -m repro.search.worker --bind 0.0.0.0:7070
+    #
+    #    and point the (still JSON-serializable) config at them:
+    #
+    #        cfg = cfg.replace(execution=ExecutionConfig(
+    #            executor="distributed",
+    #            cluster=("gpu-a:7070", "gpu-b:7070"),
+    #        ))
+    #        planner.search("mcmc", cfg)
+    #
+    #    Results are bit-identical to the local executors for the same
+    #    seeds; dead workers re-queue their chains and evaluations flush
+    #    back to the coordinator's store without a shared filesystem.
+    #    See examples/distributed_search.py for a runnable loopback demo.
+    print("\ndistributed search: see examples/distributed_search.py "
+          "(python -m repro.search.worker --bind HOST:PORT)")
+
 
 if __name__ == "__main__":
     main()

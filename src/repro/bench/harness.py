@@ -61,6 +61,11 @@ class BenchScale:
     # persistence).  Sweeps that re-search the same (model, cluster) pair
     # warm-start from it; see repro.search.store.
     store_dir: str | None = None
+    # Chain executor ("auto"/"inprocess"/"pool"/"distributed") and the
+    # worker-daemon cluster for the distributed one; results are
+    # bit-identical across executors (see repro.search.exec).
+    search_executor: str = "auto"
+    search_cluster: tuple[str, ...] = ()
 
 
 CI_SCALE = BenchScale(
@@ -94,9 +99,11 @@ def current_scale() -> BenchScale:
     """CI scale unless ``REPRO_FULL=1`` is set in the environment.
 
     ``REPRO_WORKERS`` and ``REPRO_CACHE`` override the scale's search
-    fan-out and cache capacity, and ``REPRO_CACHE_DIR`` points the
-    persistent cross-run strategy store at a directory (results are
-    invariant to all three; only wall time and cache accounting change).
+    fan-out and cache capacity, ``REPRO_CACHE_DIR`` points the persistent
+    cross-run strategy store at a directory, and ``REPRO_EXECUTOR`` /
+    ``REPRO_CLUSTER`` select the chain executor and its worker-daemon
+    cluster (comma-separated ``host:port`` list) -- results are invariant
+    to all of these; only wall time and cache accounting change.
     """
     scale = FULL_SCALE if os.environ.get("REPRO_FULL") == "1" else CI_SCALE
     overrides = {}
@@ -106,6 +113,12 @@ def current_scale() -> BenchScale:
         overrides["sim_cache_size"] = max(0, int(os.environ["REPRO_CACHE"]))
     if os.environ.get("REPRO_CACHE_DIR"):
         overrides["store_dir"] = os.environ["REPRO_CACHE_DIR"]
+    if os.environ.get("REPRO_EXECUTOR"):
+        overrides["search_executor"] = os.environ["REPRO_EXECUTOR"]
+    if os.environ.get("REPRO_CLUSTER"):
+        from repro.search.exec import parse_cluster
+
+        overrides["search_cluster"] = parse_cluster(os.environ["REPRO_CLUSTER"])
     return replace(scale, **overrides) if overrides else scale
 
 
@@ -159,7 +172,8 @@ def search_config(
 
     Every benchmark search goes through this one translation, so the
     env-var overrides (``REPRO_WORKERS``/``REPRO_CACHE``/
-    ``REPRO_CACHE_DIR``) reach the unified planner API uniformly.  The
+    ``REPRO_CACHE_DIR``/``REPRO_EXECUTOR``/``REPRO_CLUSTER``) reach the
+    unified planner API uniformly.  The
     backend-specific knobs the scale owns (REINFORCE's episode budget)
     ride along in ``backend_options``.  Pass ``store_dir=None`` to force
     persistence *off* even when the scale names a store directory (the
@@ -170,6 +184,8 @@ def search_config(
         execution=ExecutionConfig(
             workers=workers if workers is not None else scale.search_workers,
             cache_size=cache_size if cache_size is not None else scale.sim_cache_size,
+            executor=scale.search_executor,
+            cluster=scale.search_cluster,
         ),
         store=StoreConfig(root=scale.store_dir if store_dir is ... else store_dir),
         inits=tuple(inits),

@@ -39,6 +39,8 @@ legacy kwarg        ``SearchConfig`` field
 (MCMCConfig) ``no_improve_frac``  ``budget.no_improve_frac``
 ``workers``         ``execution.workers``
 ``cache_size``      ``execution.cache_size``
+(new) executor selection  ``execution.executor``  (``"auto"``/``"inprocess"``/``"pool"``/``"distributed"``)
+(new) worker-daemon cluster  ``execution.cluster``  (``("host:port", ...)``; see ``repro.search.worker``)
 ``store``           ``store.root``
 ``early_stop_cost``  ``early_stop.cost_us``
 ``inits``           ``inits``
@@ -54,6 +56,25 @@ legacy kwarg        ``SearchConfig`` field
 
 ``python -m repro.plan --list-backends`` prints the registry (CI runs it
 so backend-registration breakage fails loudly).
+
+Distributed search
+------------------
+The ``mcmc`` backend's chains can execute on remote worker daemons: start
+``python -m repro.search.worker --bind 0.0.0.0:7070`` on each machine and
+point the config at them::
+
+    cfg = SearchConfig(
+        execution=ExecutionConfig(
+            executor="distributed",
+            cluster=("gpu-a:7070", "gpu-b:7070"),
+        ),
+    )
+    result = planner.search("mcmc", cfg)
+
+Results are bit-identical to ``executor="inprocess"`` for the same seeds
+(chains are pure functions of their spec); dead workers are re-queued and
+remote evaluations flush back into the coordinator's persistent store --
+no shared filesystem required.  See :mod:`repro.search.exec`.
 """
 
 from repro.plan.config import (

@@ -128,6 +128,8 @@ class McmcBackend:
             training=training,
             early_stop_cost=config.early_stop.cost_us,
             store_root=config.store.root,
+            executor=config.execution.executor,
+            cluster=config.execution.cluster,
         )
         wall = time.perf_counter() - t0
 

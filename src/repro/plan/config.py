@@ -71,15 +71,31 @@ class BudgetConfig:
 
 @dataclass(frozen=True)
 class ExecutionConfig:
-    """How chains execute: process fan-out and per-worker cache size."""
+    """How chains execute: executor selection, fan-out, and cache size.
+
+    ``executor`` names a registered chain executor
+    (:mod:`repro.search.exec`): ``"auto"`` (distributed when ``cluster``
+    is non-empty, else pool when ``workers > 1``, else in-process),
+    ``"inprocess"``, ``"pool"``, or ``"distributed"`` -- the last
+    dispatching chains to the
+    ``python -m repro.search.worker`` daemons listed in ``cluster`` as
+    ``"host:port"`` strings.  Results are bit-identical across executors
+    for a fixed seed set; the choice is pure capacity.
+    """
 
     workers: int = 1
     cache_size: int = DEFAULT_CACHE_SIZE
+    executor: str = "auto"
+    cluster: tuple[str, ...] = ()
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionConfig":
         _check_keys(cls, data, "ExecutionConfig")
-        return cls(**data)
+        kwargs: dict[str, Any] = dict(data)
+        if "cluster" in kwargs:
+            # JSON has no tuples: round-trip the address list losslessly.
+            kwargs["cluster"] = tuple(kwargs["cluster"])
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -148,7 +164,10 @@ class SearchConfig:
         """A JSON-safe nested dict (tuples become lists)."""
         return {
             "budget": dataclasses.asdict(self.budget),
-            "execution": dataclasses.asdict(self.execution),
+            "execution": {
+                **dataclasses.asdict(self.execution),
+                "cluster": list(self.execution.cluster),
+            },
             "store": dataclasses.asdict(self.store),
             "early_stop": dataclasses.asdict(self.early_stop),
             "inits": list(self.inits),

@@ -16,9 +16,20 @@ from repro.search.parallel import (
     default_workers,
     run_chains,
 )
+from repro.search.exec import (
+    ChainExecutor,
+    DistributedExecutor,
+    ExecutionContext,
+    InProcessExecutor,
+    ProcessPoolExecutor,
+    available_executors,
+    get_executor,
+    register_executor,
+)
 from repro.search.store import (
     STORE_FORMAT_VERSION,
     CompactionStats,
+    MemoryStore,
     StoreStats,
     StrategyStore,
     default_store_root,
@@ -53,4 +64,13 @@ __all__ = [
     "ChainSpec",
     "default_workers",
     "run_chains",
+    "ChainExecutor",
+    "ExecutionContext",
+    "InProcessExecutor",
+    "ProcessPoolExecutor",
+    "DistributedExecutor",
+    "available_executors",
+    "get_executor",
+    "register_executor",
+    "MemoryStore",
 ]

@@ -1,0 +1,71 @@
+"""Pluggable chain executors: where search chains run.
+
+The execution layer behind :func:`repro.search.parallel.run_chains` and
+the ``mcmc`` planner backend.  Three built-in executors implement the
+:class:`~repro.search.exec.base.ChainExecutor` protocol:
+
+``inprocess``
+    Sequential chains in the calling process -- the deterministic
+    fallback, always available.
+``pool``
+    Local process-pool fan-out (``ExecutionConfig.workers``).
+``distributed``
+    Socket dispatch to ``python -m repro.search.worker`` daemons
+    (``ExecutionConfig.cluster``), with worker-death re-queueing and a
+    remote store-flush path for clusters without a shared filesystem.
+
+All three produce bit-identical results for a fixed seed set (costs are
+pure functions of the strategy; every chain carries its own RNG), so the
+executor is a pure capacity decision.  Additional transports register
+through :func:`register_executor`.
+
+``python -m repro.search.exec --smoke`` runs the loopback end-to-end
+check CI uses: spawn two local daemons, search through ``distributed``,
+assert parity with ``inprocess``.
+"""
+
+from repro.search.exec.base import (
+    DEFAULT_CACHE_SIZE,
+    BestChannel,
+    ChainExecutor,
+    ChainResult,
+    ChainSpec,
+    ExecutionContext,
+    available_executors,
+    default_workers,
+    get_executor,
+    register_executor,
+    run_one_chain,
+)
+from repro.search.exec.distributed import (
+    DispatchStats,
+    DistributedExecutor,
+    parse_cluster,
+)
+from repro.search.exec.local import InProcessExecutor, ProcessPoolExecutor
+from repro.search.exec.protocol import PROTOCOL_VERSION, ProtocolError
+
+register_executor(InProcessExecutor.name, InProcessExecutor, overwrite=True)
+register_executor(ProcessPoolExecutor.name, ProcessPoolExecutor, overwrite=True)
+register_executor(DistributedExecutor.name, DistributedExecutor, overwrite=True)
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "PROTOCOL_VERSION",
+    "BestChannel",
+    "ChainExecutor",
+    "ChainResult",
+    "ChainSpec",
+    "DispatchStats",
+    "DistributedExecutor",
+    "ExecutionContext",
+    "InProcessExecutor",
+    "ProcessPoolExecutor",
+    "ProtocolError",
+    "available_executors",
+    "default_workers",
+    "get_executor",
+    "parse_cluster",
+    "register_executor",
+    "run_one_chain",
+]

@@ -1,0 +1,286 @@
+"""Distributed chain executor: dispatch ChainSpecs to worker daemons.
+
+The coordinator connects to a cluster of ``python -m repro.search.worker``
+daemons (``ExecutionContext.cluster``, ``"host:port"`` strings), ships the
+problem environment once per worker, then streams chains out and results
+back over the length-prefixed protocol of
+:mod:`repro.search.exec.protocol`:
+
+* **Dispatch.**  Each worker runs one chain at a time; the coordinator
+  keeps every worker busy while undispatched chains remain and collects
+  :class:`~repro.search.exec.base.ChainResult`\\ s in spec order.
+* **Early-stop broadcast.**  Workers publish improved best costs
+  upstream; the coordinator re-broadcasts them to the rest of the fleet,
+  so a met target stops remote chains exactly like the shared-memory
+  path stops pool chains.
+* **Fault tolerance.**  A worker that dies mid-chain (EOF, reset, or a
+  garbage frame) is dropped and its in-flight chain re-queued on a
+  surviving worker -- sound because chains are pure functions of their
+  spec, so a re-run is bit-identical to the lost run.  Only when *every*
+  worker is gone does the search fail.
+* **Remote store flush.**  Workers have no shared filesystem: they
+  receive a snapshot of the coordinator's persistent
+  :class:`~repro.search.store.StrategyStore` entries with the
+  environment, evaluate against an in-memory overlay, and ship newly
+  recorded evaluations back with each result.  The coordinator records
+  and flushes them into its own store -- the remote-flush path that
+  makes cross-run persistence work without NFS.
+
+Determinism: with ``early_stop_cost=None`` the results are bit-identical
+to the in-process and pool executors for the same specs, regardless of
+cluster size, dispatch order, or mid-search worker deaths.  Adaptive
+budgets are not transported (the pool is shared memory); chains
+requesting them run on their fixed budgets with a ``RuntimeWarning``.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.search.exec.base import ChainResult, ChainSpec, ExecutionContext
+from repro.search.exec.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_msg,
+    send_msg,
+)
+from repro.search.store import StrategyStore
+
+__all__ = ["DispatchStats", "DistributedExecutor", "parse_address", "parse_cluster"]
+
+_CONNECT_TIMEOUT_S = 10.0
+_HANDSHAKE_TIMEOUT_S = 30.0
+
+
+def parse_address(addr: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``; loud on malformed entries."""
+    host, sep, port = addr.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"cluster address {addr!r} is not of the form host:port")
+    return host, int(port)
+
+
+def parse_cluster(spec: str) -> tuple[str, ...]:
+    """A comma-separated ``host:port`` list (the ``REPRO_CLUSTER`` format)."""
+    addrs = tuple(a.strip() for a in spec.split(",") if a.strip())
+    for a in addrs:
+        parse_address(a)  # validate eagerly
+    return addrs
+
+
+@dataclass
+class DispatchStats:
+    """Observability of one distributed run (exposed for tests/benches)."""
+
+    workers_connected: int = 0
+    workers_failed: int = 0  # never completed the handshake
+    workers_died: int = 0  # lost after handshake
+    requeued_chains: int = 0
+    evals_flushed: int = 0  # remote evaluations recorded into the local store
+    best_broadcasts: int = 0
+    dead_addresses: list[str] = field(default_factory=list)
+
+
+class _Worker:
+    """Coordinator-side handle of one connected daemon."""
+
+    __slots__ = ("addr", "sock", "task", "pid")
+
+    def __init__(self, addr: str, sock: socket.socket, pid: int):
+        self.addr = addr
+        self.sock = sock
+        self.task: int | None = None  # index of the in-flight chain
+        self.pid = pid
+
+
+class DistributedExecutor:
+    """Fan chains out to remote worker daemons over sockets."""
+
+    name = "distributed"
+
+    def __init__(self) -> None:
+        self.stats = DispatchStats()
+
+    # -- connection management ---------------------------------------------
+    def _connect(self, addr: str, ctx: ExecutionContext, store_entries) -> _Worker:
+        host, port = parse_address(addr)
+        sock = socket.create_connection((host, port), timeout=_CONNECT_TIMEOUT_S)
+        sock.settimeout(_HANDSHAKE_TIMEOUT_S)
+        send_msg(sock, {"type": "hello", "version": PROTOCOL_VERSION})
+        ack = recv_msg(sock)
+        if ack is None or ack.get("type") != "hello_ack":
+            raise ProtocolError(f"worker {addr} did not acknowledge the handshake: {ack!r}")
+        if ack.get("version") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"worker {addr} speaks protocol v{ack.get('version')}, "
+                f"coordinator speaks v{PROTOCOL_VERSION}"
+            )
+        send_msg(
+            sock,
+            {"type": "env", "ctx": ctx, "store_entries": store_entries},
+            pickled=True,
+        )
+        # Chains can legitimately run for minutes: worker liveness is
+        # detected by EOF/reset, not by read timeouts.
+        sock.settimeout(None)
+        return _Worker(addr, sock, int(ack.get("pid", 0)))
+
+    def _drop(self, worker: _Worker, sel: selectors.BaseSelector, queue: deque) -> None:
+        """Forget a dead worker, re-queueing its in-flight chain."""
+        try:
+            sel.unregister(worker.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        self.stats.workers_died += 1
+        self.stats.dead_addresses.append(worker.addr)
+        if worker.task is not None:
+            # Chains are pure: a re-run on a surviving worker returns the
+            # bit-identical result the dead worker would have.
+            queue.appendleft(worker.task)
+            self.stats.requeued_chains += 1
+            worker.task = None
+
+    # -- main loop ---------------------------------------------------------
+    def run(self, ctx: ExecutionContext, specs: list[ChainSpec]) -> list[ChainResult]:
+        if not ctx.cluster:
+            raise ValueError(
+                "the distributed executor needs a cluster: set "
+                "ExecutionConfig(cluster=[\"host:port\", ...]) or REPRO_CLUSTER"
+            )
+        if any(s.config.adaptive for s in specs):
+            warnings.warn(
+                "adaptive chain budgets are not transported by the distributed "
+                "executor; chains run on their fixed budgets",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+        store: StrategyStore | None = None
+        store_entries: list[tuple[int, float]] = []
+        if ctx.store_root is not None and ctx.store_context is not None:
+            store = StrategyStore(ctx.store_root, ctx.store_context)
+            store_entries = store.entries()
+
+        workers: list[_Worker] = []
+        for addr in ctx.cluster:
+            try:
+                workers.append(self._connect(addr, ctx, store_entries))
+            except (OSError, ProtocolError) as exc:
+                self.stats.workers_failed += 1
+                self.stats.dead_addresses.append(addr)
+                warnings.warn(
+                    f"distributed worker {addr} unavailable ({exc!r}); continuing without it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if not workers:
+            raise RuntimeError(
+                f"no distributed workers reachable in cluster {list(ctx.cluster)}"
+            )
+        self.stats.workers_connected = len(workers)
+
+        sel = selectors.DefaultSelector()
+        for w in workers:
+            sel.register(w.sock, selectors.EVENT_READ, w)
+
+        queue: deque[int] = deque(range(len(specs)))
+        results: list[ChainResult | None] = [None] * len(specs)
+        done = 0
+        best_cost = float("inf")
+
+        def dispatch() -> None:
+            restart = True
+            while restart:
+                restart = False
+                for w in workers:
+                    if w.task is None and queue:
+                        task = queue.popleft()
+                        try:
+                            send_msg(
+                                w.sock,
+                                {"type": "chain", "task": task, "spec": specs[task]},
+                                pickled=True,
+                            )
+                        except OSError:
+                            queue.appendleft(task)
+                            workers.remove(w)
+                            self._drop(w, sel, queue)
+                            # Re-scan the shrunk fleet immediately: the
+                            # remaining idle workers must not wait out a
+                            # select timeout for their chains.
+                            restart = True
+                            break
+                        w.task = task
+
+        try:
+            while done < len(specs):
+                dispatch()
+                if not workers:
+                    raise RuntimeError(
+                        f"all distributed workers died with {len(specs) - done} "
+                        f"chain(s) outstanding (addresses: {self.stats.dead_addresses})"
+                    )
+                for key, _ in sel.select(timeout=1.0):
+                    w: _Worker = key.data
+                    try:
+                        msg = recv_msg(w.sock)
+                    except (OSError, ProtocolError):
+                        msg = None
+                    if msg is None:  # EOF / reset / garbage: the worker is gone
+                        workers.remove(w)
+                        self._drop(w, sel, queue)
+                        continue
+                    kind = msg.get("type")
+                    if kind == "result":
+                        task = msg["task"]
+                        results[task] = msg["result"]
+                        done += 1
+                        w.task = None
+                        evals = msg.get("evals") or []
+                        if store is not None and evals:
+                            for fp, cost in evals:
+                                store.record(int(fp), float(cost))
+                            self.stats.evals_flushed += store.flush()
+                    elif kind == "best":
+                        cost = float(msg["cost"])
+                        if cost < best_cost:
+                            best_cost = cost
+                            if ctx.early_stop_cost is not None:
+                                for other in workers:
+                                    if other is w:
+                                        continue
+                                    try:
+                                        send_msg(other.sock, {"type": "best", "cost": cost})
+                                        self.stats.best_broadcasts += 1
+                                    except OSError:
+                                        pass  # reaped on its next read event
+                    elif kind == "error":
+                        raise RuntimeError(
+                            f"worker {w.addr} failed chain "
+                            f"{specs[msg.get('task', -1)].name if 0 <= msg.get('task', -1) < len(specs) else msg.get('task')!r}: "
+                            f"{msg.get('message')}"
+                        )
+                    else:
+                        raise ProtocolError(f"unexpected message {kind!r} from worker {w.addr}")
+        finally:
+            for w in workers:
+                try:
+                    send_msg(w.sock, {"type": "bye"})
+                except OSError:
+                    pass
+                try:
+                    w.sock.close()
+                except OSError:
+                    pass
+            sel.close()
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

@@ -109,6 +109,8 @@ def optimize(
     checkpoint_every: int = 0,
     store: "str | os.PathLike | None" = None,
     adaptive: bool = False,
+    executor: str = "auto",
+    cluster: "tuple[str, ...]" = (),
 ) -> OptimizeResult:
     """Find a fast parallelization strategy for ``graph`` on ``topology``.
 
@@ -142,7 +144,12 @@ def optimize(
             checkpoint_every=checkpoint_every,
             adaptive=adaptive,
         ),
-        execution=ExecutionConfig(workers=workers, cache_size=cache_size),
+        execution=ExecutionConfig(
+            workers=workers,
+            cache_size=cache_size,
+            executor=executor,
+            cluster=tuple(cluster),
+        ),
         store=StoreConfig(root=os.fspath(store) if store is not None else None),
         early_stop=EarlyStopConfig(cost_us=early_stop_cost),
         inits=tuple(inits),

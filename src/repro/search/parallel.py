@@ -1,358 +1,85 @@
-"""Parallel multi-chain search orchestration.
+"""Multi-chain search orchestration: a thin wrapper over the executors.
 
 The execution optimizer (Section 6.2) runs independent MCMC chains from
-multiple initial strategies.  This module fans those chains out over a
-``concurrent.futures`` process pool so search wall-time stops growing
-linearly with chain count, while keeping results bit-for-bit reproducible.
+multiple initial strategies.  The mechanics of *where* those chains run
+moved to :mod:`repro.search.exec` -- in this process, on a local process
+pool, or on remote worker daemons -- behind the
+:class:`~repro.search.exec.base.ChainExecutor` protocol.
+:func:`run_chains` is now only the selection layer: it digests the
+search context for the persistent store, packs an
+:class:`~repro.search.exec.base.ExecutionContext`, picks an executor,
+and returns the per-chain results in spec order.
 
 Determinism guarantees
 ----------------------
 1. **Per-chain seeded RNG.**  Every :class:`ChainSpec` carries its own
    :class:`~repro.search.mcmc.MCMCConfig` seed; a chain's random stream
-   never depends on scheduling, worker count, or sibling chains.
+   never depends on scheduling, worker count, executor, or sibling
+   chains.
 2. **Pure-function costs.**  Canonical tie-breaking in the simulators
    (see :mod:`repro.sim.full_sim`) makes the simulated cost of a strategy
    independent of the mutation path that reached it, so a chain computes
-   the same trajectory in any process.
+   the same trajectory in any process on any host.
 3. **Result-neutral caching.**  The per-worker
    :class:`~repro.search.cache.SimulationCache` and the optional
-   persistent :class:`~repro.search.store.StrategyStore` only skip
-   redundant simulations; accept/reject decisions are unchanged.  Cache
-   *hit accounting* may vary with scheduling (chains co-located in one
-   worker share its cache and store snapshot), the search results never
-   do.
+   persistent :class:`~repro.search.store.StrategyStore` (or its
+   in-memory remote overlay) only skip redundant simulations; accept /
+   reject decisions are unchanged.  Cache *hit accounting* may vary with
+   scheduling, the search results never do.
 4. **Opt-in early stop.**  With ``early_stop_cost=None`` (the default)
-   every chain runs to its own budget and
-   ``run_chains(..., workers=1)`` and ``run_chains(..., workers=k)``
-   return identical :class:`ChainResult` contents for any ``k``.  Setting
-   a target cost broadcasts the global best between chains through shared
-   memory and stops chains (and skips not-yet-started ones) once the
-   target is met -- the returned best still meets the target, but which
-   chain found it first may vary with timing.
-5. **Opt-in adaptive budgets.**  Chains whose
-   :class:`~repro.search.mcmc.MCMCConfig` sets ``adaptive=True`` share an
-   iteration-budget pool through the same shared-memory channel: chains
-   that stop on the stall criterion deposit their unused iterations,
-   chains that exhaust their budget while still improving withdraw them.
-   Like early stop, this trades determinism for wall-clock: which chain
-   receives donated budget depends on timing (except under ``workers=1``,
-   where chain order is fixed).  With every chain at the default
-   ``adaptive=False`` the pool is never touched and results are
-   bit-identical to the fixed-budget orchestration.
+   every chain runs to its own budget and the results are bit-identical
+   across ``inprocess``, ``pool`` (any worker count), and
+   ``distributed`` (any cluster size, even under mid-search worker
+   deaths).  Setting a target cost broadcasts the global best between
+   chains -- through shared memory locally, over the socket protocol
+   remotely -- and stops chains once the target is met; the returned
+   best still meets the target, but which chain found it first may vary
+   with timing.
+5. **Opt-in adaptive budgets.**  Chains with
+   :class:`~repro.search.mcmc.MCMCConfig` ``adaptive=True`` share an
+   iteration-budget pool in-process and across the local pool.  The
+   distributed executor does not transport the pool; adaptive chains run
+   on their fixed budgets there (with a ``RuntimeWarning``).
 
 Persistence
 -----------
 ``store_root`` (or ``REPRO_CACHE_DIR``) names a directory holding
 cross-run shard files (see :mod:`repro.search.store`).  The parent
-computes the search-context key once; each worker opens the shard,
-preloads its snapshot, consults it before the in-memory LRU, and flushes
-newly simulated evaluations on every chain completion -- so evaluations
-survive pool teardown and warm the next search over the same
-``(graph, topology)`` pair, including searches in other processes.
-
-Worker processes receive the pickled ``(graph, topology, profiler)``
-triple and rebuild their own live :class:`~repro.sim.Simulator`; if any
-of those objects cannot be pickled the orchestrator transparently falls
-back to the deterministic in-process path (with a ``RuntimeWarning``).
+computes the search-context key once; local executors open the shard per
+worker and flush on chain completion, while the distributed executor
+ships a snapshot to each remote daemon and flushes returned evaluations
+into the coordinator's shard (no shared filesystem required).
 """
 
 from __future__ import annotations
 
 import os
-import pickle
-import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
-
-import multiprocessing as mp
+from typing import Sequence
 
 from repro.ir.graph import OperatorGraph
 from repro.machine.topology import DeviceTopology
 from repro.profiler.profiler import OpProfiler
-from repro.search.cache import CacheStats, SimulationCache
-from repro.search.mcmc import MCMCConfig, SearchTrace, mcmc_search
-from repro.search.store import StoreStats, StrategyStore, search_context
-from repro.sim.simulator import Simulator
-from repro.soap.space import ConfigSpace
-from repro.soap.strategy import Strategy
+from repro.search.exec.base import (
+    DEFAULT_CACHE_SIZE,
+    ChainResult,
+    ChainSpec,
+    ExecutionContext,
+    default_workers,
+    get_executor,
+)
+from repro.search.store import search_context
 
-__all__ = ["DEFAULT_CACHE_SIZE", "ChainSpec", "ChainResult", "run_chains", "default_workers"]
+# Imported for the side effect of registering the built-in executors.
+import repro.search.exec  # noqa: F401
 
-DEFAULT_CACHE_SIZE = 4096
-
-# How many should_stop() polls to answer from the last shared-memory read
-# before re-reading the cross-process best (keeps lock traffic off the
-# per-iteration hot path).
-_POLL_STRIDE = 8
-
-
-def default_workers() -> int:
-    """Worker count from ``REPRO_WORKERS`` or the machine's CPU count."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        return max(1, int(env))
-    return max(1, os.cpu_count() or 1)
-
-
-@dataclass(frozen=True)
-class ChainSpec:
-    """One chain: a name, an initial strategy, and its MCMC budget/seed."""
-
-    name: str
-    init: Strategy
-    config: MCMCConfig
-
-
-@dataclass
-class ChainResult:
-    """Outcome of one chain (picklable: travels back from workers)."""
-
-    name: str
-    best_strategy: Strategy
-    best_cost_us: float
-    init_cost_us: float
-    trace: SearchTrace = field(default_factory=SearchTrace)
-    wall_time_s: float = 0.0
-    # This chain's *own* cache/store activity (deltas, not the shared
-    # per-worker structures' cumulative totals -- chains co-located in one
-    # worker share a cache and store snapshot, so raw snapshots would
-    # double-count).
-    cache: CacheStats = field(default_factory=CacheStats)
-    store: StoreStats = field(default_factory=StoreStats)
-    skipped: bool = False  # early-stop target met before the chain started
-    worker_pid: int = 0  # process that ran the chain (observed, not requested)
-
-
-class _SharedBudget:
-    """Cross-process iteration-budget pool (adaptive chain scheduling)."""
-
-    __slots__ = ("_value",)
-
-    def __init__(self, value):
-        self._value = value  # mp.Value("l")
-
-    def deposit(self, n: int) -> None:
-        if n <= 0:
-            return
-        with self._value.get_lock():
-            self._value.value += int(n)
-
-    def withdraw(self, n: int) -> int:
-        if n <= 0:
-            return 0
-        with self._value.get_lock():
-            grant = min(int(n), self._value.value)
-            self._value.value -= grant
-            return grant
-
-
-class _LocalBudget:
-    """In-process budget pool (workers=1 path; deterministic order)."""
-
-    __slots__ = ("value",)
-
-    def __init__(self) -> None:
-        self.value = 0
-
-    def deposit(self, n: int) -> None:
-        if n > 0:
-            self.value += int(n)
-
-    def withdraw(self, n: int) -> int:
-        grant = min(max(0, int(n)), self.value)
-        self.value -= grant
-        return grant
-
-
-# -- worker-side state ---------------------------------------------------------
-# Populated by the pool initializer in each worker process.  The cache and
-# store snapshot are shared by every chain that lands in this worker
-# (sound: costs are pure functions of the strategy); the Value broadcasts
-# the global best cost and the budget Value carries the adaptive pool.
-# The (graph, topology, profiler, ...) environment is pickled once in the
-# parent and lazily unpickled once per worker -- per-task payloads carry
-# only the small ChainSpec.
-_shared_best: "mp.sharedctypes.Synchronized | None" = None
-_shared_budget: _SharedBudget | None = None
-_worker_cache: SimulationCache | None = None
-_worker_store: StrategyStore | None = None
-_store_args: tuple[str, str] | None = None
-_env_bytes: bytes | None = None
-_env: tuple | None = None
-
-
-def _init_worker(shared_best, budget_value, cache_size: int, store_args, env_bytes: bytes) -> None:
-    global _shared_best, _shared_budget, _worker_cache, _worker_store, _store_args, _env_bytes, _env
-    _shared_best = shared_best
-    _shared_budget = _SharedBudget(budget_value) if budget_value is not None else None
-    # capacity 0 = caching off: skip fingerprint bookkeeping entirely.
-    _worker_cache = SimulationCache(cache_size) if cache_size > 0 else None
-    # Store opening (a mkdir + shard read) is deferred out of the
-    # initializer to the first chain task, so workers the executor spins
-    # up but never hands a chain to don't touch the disk.
-    _worker_store = None
-    _store_args = store_args
-    _env_bytes = env_bytes
-    _env = None
-
-
-def _publish_best(shared_best, cost: float) -> None:
-    if shared_best is None:
-        return
-    with shared_best.get_lock():
-        if cost < shared_best.value:
-            shared_best.value = cost
-
-
-def _stats_delta(after: CacheStats, before: CacheStats) -> CacheStats:
-    return CacheStats(
-        hits=after.hits - before.hits,
-        misses=after.misses - before.misses,
-        evictions=after.evictions - before.evictions,
-        size=after.size,
-        capacity=after.capacity,
-    )
-
-
-def _store_delta(after: StoreStats, before: StoreStats) -> StoreStats:
-    return StoreStats(
-        loaded=after.loaded,
-        hits=after.hits - before.hits,
-        misses=after.misses - before.misses,
-        warm_hits=after.warm_hits - before.warm_hits,
-        appended=after.appended - before.appended,
-        dropped=after.dropped,
-    )
-
-
-def _run_one_chain(
-    graph: OperatorGraph,
-    topology: DeviceTopology,
-    profiler: OpProfiler,
-    spec: ChainSpec,
-    cache: SimulationCache | None,
-    store: StrategyStore | None,
-    shared_best,
-    budget,
-    algorithm: str,
-    training: bool,
-    early_stop_cost: float | None,
-) -> ChainResult:
-    """Run one chain against a fresh simulator (any process)."""
-    t0 = time.perf_counter()
-    if early_stop_cost is not None and shared_best is not None:
-        with shared_best.get_lock():
-            if shared_best.value <= early_stop_cost:
-                return ChainResult(
-                    name=spec.name,
-                    best_strategy=spec.init,
-                    best_cost_us=float("inf"),
-                    init_cost_us=float("inf"),
-                    skipped=True,
-                    worker_pid=os.getpid(),
-                )
-    cache_before = cache.stats() if cache is not None else CacheStats()
-    store_before = replace(store.stats) if store is not None else StoreStats()
-
-    sim = Simulator(graph, topology, spec.init, profiler, training=training, algorithm=algorithm)
-    init_cost = sim.cost
-    _publish_best(shared_best, init_cost)
-
-    should_stop = None
-    if early_stop_cost is not None and shared_best is not None:
-        polls = {"n": 0, "stop": False}
-
-        def should_stop() -> bool:
-            if polls["stop"]:
-                return True
-            polls["n"] += 1
-            if polls["n"] % _POLL_STRIDE == 0:
-                with shared_best.get_lock():
-                    polls["stop"] = shared_best.value <= early_stop_cost
-            return polls["stop"]
-
-    def on_improve(cost: float) -> None:
-        _publish_best(shared_best, cost)
-
-    space = ConfigSpace(graph, topology)
-    best_strategy, best_cost, trace = mcmc_search(
-        sim,
-        space,
-        spec.config,
-        cache=cache,
-        should_stop=should_stop,
-        on_improve=on_improve,
-        store=store,
-        budget=budget,
-    )
-    if store is not None:
-        # Chain completion is the durability point: evaluations from this
-        # chain survive pool teardown and warm future searches.
-        store.flush()
-        store_delta = _store_delta(store.stats, store_before)
-    else:
-        store_delta = StoreStats()
-    cache_delta = (
-        _stats_delta(cache.stats(), cache_before) if cache is not None else CacheStats()
-    )
-    return ChainResult(
-        name=spec.name,
-        best_strategy=best_strategy,
-        best_cost_us=best_cost,
-        init_cost_us=init_cost,
-        trace=trace,
-        wall_time_s=time.perf_counter() - t0,
-        cache=cache_delta,
-        store=store_delta,
-        worker_pid=os.getpid(),
-    )
-
-
-def _chain_task(spec: ChainSpec) -> ChainResult:
-    """Pool entry point: rebuild the shared environment once, run the chain."""
-    global _env, _worker_store, _store_args
-    if _env is None:
-        assert _env_bytes is not None, "worker initializer did not run"
-        _env = pickle.loads(_env_bytes)
-    graph, topology, profiler, algorithm, training, early_stop_cost = _env
-    if _worker_store is None and _store_args is not None:
-        root, context = _store_args
-        _worker_store = StrategyStore(root, context)
-        _store_args = None  # opened (or degraded); don't retry per chain
-    return _run_one_chain(
-        graph,
-        topology,
-        profiler,
-        spec,
-        _worker_cache,
-        _worker_store,
-        _shared_best,
-        _shared_budget,
-        algorithm,
-        training,
-        early_stop_cost,
-    )
-
-
-class _LocalBest:
-    """In-process stand-in for the shared-memory best (workers=1 path)."""
-
-    __slots__ = ("value", "_lock")
-
-    class _Noop:
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *a):
-            return False
-
-    def __init__(self) -> None:
-        self.value = float("inf")
-        self._lock = self._Noop()
-
-    def get_lock(self):
-        return self._lock
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "ChainSpec",
+    "ChainResult",
+    "run_chains",
+    "default_workers",
+]
 
 
 def run_chains(
@@ -367,21 +94,25 @@ def run_chains(
     training: bool = True,
     early_stop_cost: float | None = None,
     store_root: "str | os.PathLike | None" = None,
+    executor: str = "auto",
+    cluster: Sequence[str] = (),
 ) -> list[ChainResult]:
     """Run every chain in ``specs``; returns results in spec order.
 
-    ``workers=1`` (or a single spec) runs chains sequentially in-process;
-    ``workers>1`` fans them out over a process pool.  Either way the
-    per-chain results are identical when ``early_stop_cost`` is ``None``
-    and no chain opts into adaptive budgets (see the module docstring for
-    the determinism argument).  ``store_root`` names the persistent
-    strategy-store directory shared across runs (``None`` disables
-    persistence).
+    ``executor`` selects the execution mechanism by registry name --
+    ``"inprocess"``, ``"pool"``, or ``"distributed"`` -- or ``"auto"``
+    (the default): distributed when a ``cluster`` is configured, else
+    the pool when ``workers > 1`` and several chains exist, else the
+    in-process path.  ``cluster`` is the ``"host:port"`` list of worker
+    daemons the distributed executor dispatches to.  Results are identical across executors when
+    ``early_stop_cost`` is ``None`` and no chain opts into adaptive
+    budgets (see the module docstring for the determinism argument).
+    ``store_root`` names the persistent strategy-store directory shared
+    across runs (``None`` disables persistence).
     """
     profiler = profiler or OpProfiler()
     if not specs:
         raise ValueError("run_chains() requires at least one chain spec")
-    workers = max(1, min(workers, len(specs)))
 
     store_ctx: str | None = None
     if store_root is not None:
@@ -401,63 +132,27 @@ def run_chains(
             )
             store_root = None
 
-    adaptive = any(s.config.adaptive for s in specs)
+    name = executor
+    if name == "auto":
+        # A configured cluster is an explicit request for remote workers;
+        # otherwise fan out locally when it can actually help.
+        if cluster:
+            name = "distributed"
+        else:
+            name = "pool" if workers > 1 and len(specs) > 1 else "inprocess"
+    # Unknown names fail loudly in get_executor() below.
 
-    if workers > 1:
-        try:
-            # The heavy environment is serialized once for the whole pool;
-            # each task ships only its ChainSpec.
-            env_bytes = pickle.dumps(
-                (graph, topology, profiler, algorithm, training, early_stop_cost)
-            )
-            pickle.dumps(specs)
-        except Exception as exc:  # unpicklable custom graph/topology/profiler
-            warnings.warn(
-                f"parallel search fell back to in-process execution: {exc!r}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            workers = 1
-
-    if workers == 1:
-        shared = _LocalBest()
-        budget = _LocalBudget() if adaptive else None
-        cache = SimulationCache(cache_size) if cache_size > 0 else None
-        store = (
-            StrategyStore(store_root, store_ctx)
-            if store_root is not None and store_ctx is not None
-            else None
-        )
-        return [
-            _run_one_chain(
-                graph,
-                topology,
-                profiler,
-                s,
-                cache,
-                store,
-                shared,
-                budget,
-                algorithm,
-                training,
-                early_stop_cost,
-            )
-            for s in specs
-        ]
-
-    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    shared_best = ctx.Value("d", float("inf"))
-    budget_value = ctx.Value("l", 0) if adaptive else None
-    store_args = (
-        (os.fspath(store_root), store_ctx)
-        if store_root is not None and store_ctx is not None
-        else None
+    ctx = ExecutionContext(
+        graph=graph,
+        topology=topology,
+        profiler=profiler,
+        algorithm=algorithm,
+        training=training,
+        early_stop_cost=early_stop_cost,
+        cache_size=cache_size,
+        store_root=os.fspath(store_root) if store_root is not None else None,
+        store_context=store_ctx,
+        workers=max(1, workers),
+        cluster=tuple(cluster),
     )
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=ctx,
-        initializer=_init_worker,
-        initargs=(shared_best, budget_value, cache_size, store_args, env_bytes),
-    ) as pool:
-        futures = [pool.submit(_chain_task, s) for s in specs]
-        return [f.result() for f in futures]
+    return get_executor(name).run(ctx, specs)

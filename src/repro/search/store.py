@@ -61,6 +61,9 @@ from repro.sim import SIMULATOR_VERSION
 
 __all__ = [
     "STORE_FORMAT_VERSION",
+    "AUTO_COMPACT_MIN_BYTES",
+    "AUTO_COMPACT_MIN_RECORDS",
+    "AUTO_COMPACT_DUP_RATIO",
     "graph_digest",
     "topology_digest",
     "search_context",
@@ -68,9 +71,19 @@ __all__ = [
     "StoreStats",
     "CompactionStats",
     "StrategyStore",
+    "MemoryStore",
 ]
 
 STORE_FORMAT_VERSION = 1
+
+# Scheduled compaction thresholds: a shard with duplicate records
+# (concurrent writers re-flushing the same evaluations) is rewritten at
+# open when it exceeds the size floor, or when enough of its records are
+# duplicates for the rewrite to pay for itself.  Small shards and shards
+# with nothing to reclaim are never touched.
+AUTO_COMPACT_MIN_BYTES = 4 << 20
+AUTO_COMPACT_MIN_RECORDS = 64
+AUTO_COMPACT_DUP_RATIO = 0.5
 
 _HEADER_PREFIX = "#repro-strategy-store"
 _DIGEST_CHARS = 32  # 128-bit hex digests for context components
@@ -192,6 +205,10 @@ class StoreStats:
     warm_hits: int = 0
     appended: int = 0  # new entries flushed to disk
     dropped: int = 0  # corrupt/torn lines skipped during load
+    # Scheduled compaction at open (see AUTO_COMPACT_*): sweeps run and
+    # bytes they reclaimed, so long-lived caches report their upkeep.
+    auto_compactions: int = 0
+    compaction_bytes_saved: int = 0
 
     @property
     def lookups(self) -> int:
@@ -222,6 +239,12 @@ class StoreStats:
             warm_hits=self.warm_hits + other.warm_hits,
             appended=self.appended + other.appended,
             dropped=max(self.dropped, other.dropped),
+            # Like loaded/dropped these are per-open facts, not per-chain
+            # deltas: chains sharing one store handle must not double-count.
+            auto_compactions=max(self.auto_compactions, other.auto_compactions),
+            compaction_bytes_saved=max(
+                self.compaction_bytes_saved, other.compaction_bytes_saved
+            ),
         )
 
 
@@ -291,7 +314,7 @@ class StrategyStore:
     search.
     """
 
-    def __init__(self, root: str | os.PathLike, context: str):
+    def __init__(self, root: str | os.PathLike, context: str, *, auto_compact: bool = True):
         # expanduser: config files and CLI flags routinely say "~/.cache/...";
         # without it the shards land in a literal cwd-relative "~" directory.
         self.root = Path(root).expanduser()
@@ -303,6 +326,12 @@ class StrategyStore:
         # Fingerprints whose value came from disk (initial load or a
         # reload merge) -- hits on these count as *warm* hits.
         self._warm: set[int] = set()
+        # (st_size, st_mtime_ns) of the shard as of the last read, so
+        # reload() can skip re-parsing an unchanged file; None = unknown.
+        self._disk_state: tuple[int, int] | None = None
+        # Valid records parsed by the last _load (duplicates included) --
+        # the duplicate-ratio input of the scheduled-compaction check.
+        self._load_records = 0
         self._writable = True
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -314,6 +343,8 @@ class StrategyStore:
             )
             self._writable = False
         self._load()
+        if auto_compact:
+            self._maybe_auto_compact()
 
     # -- reading -----------------------------------------------------------
     def _parse(self, stream: io.TextIOBase) -> None:
@@ -330,17 +361,24 @@ class StrategyStore:
             if record is None:
                 self.stats.dropped += 1
                 continue
+            self._load_records += 1
             self._snapshot[record[0]] = record[1]
 
     def _load(self) -> None:
         before = set(self._snapshot)
+        self._load_records = 0
         try:
             with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
                 with _FileLock(fh, exclusive=False):
                     self._parse(fh)
+                    # Captured under the shared lock, so the recorded
+                    # state matches exactly what was parsed.
+                    st = os.fstat(fh.fileno())
+                    self._disk_state = (st.st_size, st.st_mtime_ns)
         except FileNotFoundError:
-            pass
+            self._disk_state = None
         except OSError as exc:
+            self._disk_state = None
             warnings.warn(
                 f"strategy store shard {self.path} unreadable ({exc}); starting empty",
                 RuntimeWarning,
@@ -353,7 +391,21 @@ class StrategyStore:
         self.stats.loaded = len(self._snapshot)
 
     def reload(self) -> int:
-        """Merge entries appended by other processes since open."""
+        """Merge entries appended by other processes since open.
+
+        Cheap when nothing changed: the shard's ``(size, mtime)`` is
+        compared against the state recorded by the last read, and an
+        unchanged file skips the re-parse entirely -- so a search can
+        poll ``reload()`` periodically without rescanning a large shard
+        every time.
+        """
+        if self._disk_state is not None:
+            try:
+                st = os.stat(self.path)
+                if (st.st_size, st.st_mtime_ns) == self._disk_state:
+                    return 0
+            except OSError:
+                pass  # vanished or unstatable: fall through to the full load
         before = len(self._snapshot)
         self._load()
         return len(self._snapshot) - before
@@ -374,6 +426,15 @@ class StrategyStore:
         if fingerprint in self._warm:
             self.stats.warm_hits += 1
         return cost
+
+    def entries(self) -> list[tuple[int, float]]:
+        """Every known ``(fingerprint, cost)`` pair (snapshot + recorded).
+
+        The payload the distributed coordinator ships to remote workers,
+        which see this store only through that snapshot (no shared
+        filesystem; see :class:`MemoryStore`).
+        """
+        return list(self._snapshot.items())
 
     def record(self, fingerprint: int, cost_us: float) -> None:
         """Buffer one evaluation for the next :meth:`flush`."""
@@ -418,7 +479,37 @@ class StrategyStore:
             self._writable = False
             return 0
         self.stats.appended += len(pending)
+        self._disk_state = None  # our append changed the file; force re-stat
         return len(pending)
+
+    def _maybe_auto_compact(self) -> None:
+        """Scheduled compaction: rewrite an overgrown shard right at open.
+
+        Shards only ever append during searches, so without an operator
+        running :meth:`compact` by hand a long-lived cache grows past its
+        information content.  Opening is the natural trigger point: every
+        search passes through it, the rewrite runs at most once per open,
+        and the thresholds keep small or duplicate-free shards untouched.
+        """
+        if not self._writable or self._disk_state is None:
+            return
+        size = self._disk_state[0]
+        records = self._load_records
+        duplicates = records - len(self._snapshot)
+        if duplicates <= 0:
+            # Nothing reclaimable: a rewrite would change no bytes but
+            # still repeat at every open (and an all-unique shard can
+            # never shrink below any size threshold).
+            return
+        dup_heavy = (
+            records >= AUTO_COMPACT_MIN_RECORDS
+            and duplicates / records >= AUTO_COMPACT_DUP_RATIO
+        )
+        if size < AUTO_COMPACT_MIN_BYTES and not dup_heavy:
+            return
+        swept = self.compact()
+        self.stats.auto_compactions += 1
+        self.stats.compaction_bytes_saved += swept.bytes_saved
 
     def compact(self) -> CompactionStats:
         """Rewrite the shard in place, dropping duplicate fingerprints.
@@ -470,6 +561,7 @@ class StrategyStore:
         # snapshot (disk-sourced entries count as warm, as in _load).
         self._warm.update(fp for fp in entries if fp not in self._snapshot)
         self._snapshot.update(entries)
+        self._disk_state = None  # the rewrite changed the file; force re-stat
         return CompactionStats(
             kept=len(entries),
             duplicates_dropped=records - len(entries),
@@ -480,3 +572,79 @@ class StrategyStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StrategyStore({str(self.path)!r}, entries={len(self)})"
+
+
+class MemoryStore:
+    """In-memory store overlay for workers with no shared filesystem.
+
+    Implements the same consult/record/flush surface as
+    :class:`StrategyStore` (so :func:`~repro.search.mcmc.mcmc_search` and
+    :func:`~repro.search.exec.base.run_one_chain` cannot tell them
+    apart), but persists nothing locally: it is seeded from a snapshot of
+    the coordinator's entries (which count as warm, exactly like
+    disk-loaded entries), and everything recorded since the last drain
+    sits in an outbox that the worker daemon ships back with each chain
+    result for the *coordinator* to flush -- the remote-flush path for
+    clusters without NFS.
+    """
+
+    def __init__(self, entries=()):
+        self.stats = StoreStats()
+        items = entries.items() if isinstance(entries, dict) else entries
+        self._snapshot: dict[int, float] = {int(fp): float(cost) for fp, cost in items}
+        self._warm: set[int] = set(self._snapshot)
+        self._pending: dict[int, float] = {}
+        self._outbox: dict[int, float] = {}
+        self.stats.loaded = len(self._snapshot)
+
+    def __len__(self) -> int:
+        return len(self._snapshot)
+
+    def __contains__(self, fingerprint: int) -> bool:
+        return fingerprint in self._snapshot
+
+    def get(self, fingerprint: int) -> float | None:
+        cost = self._snapshot.get(fingerprint)
+        if cost is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if fingerprint in self._warm:
+            self.stats.warm_hits += 1
+        return cost
+
+    def record(self, fingerprint: int, cost_us: float) -> None:
+        if fingerprint in self._snapshot:
+            return
+        self._snapshot[fingerprint] = cost_us
+        self._pending[fingerprint] = cost_us
+
+    def flush(self) -> int:
+        """Stage pending evaluations into the outbox; returns the count.
+
+        "Durability" here means *handed to the transport*: the worker
+        drains the outbox into its next result message, and real
+        persistence happens when the coordinator flushes its
+        :class:`StrategyStore`.
+        """
+        n = len(self._pending)
+        self._outbox.update(self._pending)
+        self._pending.clear()
+        self.stats.appended += n
+        return n
+
+    def drain_outbox(self) -> list[tuple[int, float]]:
+        """Flushed-but-unshipped evaluations, clearing the outbox."""
+        out = list(self._outbox.items())
+        self._outbox.clear()
+        return out
+
+    def entries(self) -> list[tuple[int, float]]:
+        return list(self._snapshot.items())
+
+    def reload(self) -> int:
+        """No backing file to merge from; present for interface parity."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryStore(entries={len(self)}, outbox={len(self._outbox)})"

@@ -58,6 +58,33 @@ class Timeline:
         tl.makespan = self.makespan
         return tl
 
+    def copy_into(self, target: "Timeline") -> "Timeline":
+        """Copy this timeline's state into ``target``, reusing its storage.
+
+        Clearing and refilling the existing dicts (and per-device lists)
+        keeps their already-grown hash tables and list buffers alive, so
+        a caller that snapshots on every proposal -- the MCMC speculative
+        path -- recycles one scratch timeline instead of allocating four
+        dicts plus a list per device each iteration.
+        """
+        target.ready.clear()
+        target.ready.update(self.ready)
+        target.start.clear()
+        target.start.update(self.start)
+        target.end.clear()
+        target.end.update(self.end)
+        stale = target.device_order.keys() - self.device_order.keys()
+        for d in stale:
+            del target.device_order[d]
+        for d, order in self.device_order.items():
+            dst = target.device_order.get(d)
+            if dst is None:
+                target.device_order[d] = list(order)
+            else:
+                dst[:] = order
+        target.makespan = self.makespan
+        return target
+
     def equals(self, other: "Timeline", tol: float = 1e-9) -> bool:
         """Structural equality up to floating-point tolerance (for tests)."""
         if set(self.end) != set(other.end):

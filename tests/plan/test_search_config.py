@@ -19,7 +19,12 @@ def full_config() -> SearchConfig:
         budget=BudgetConfig(
             iterations=321, time_s=1.5, no_improve_frac=0.25, adaptive=True, checkpoint_every=7
         ),
-        execution=ExecutionConfig(workers=3, cache_size=128),
+        execution=ExecutionConfig(
+            workers=3,
+            cache_size=128,
+            executor="distributed",
+            cluster=("gpu-a:7070", "gpu-b:7071"),
+        ),
         store=StoreConfig(root="/tmp/some-store"),
         early_stop=EarlyStopConfig(cost_us=123.5),
         inits=("data_parallel", "expert", "random"),
@@ -54,6 +59,22 @@ class TestRoundTrip:
         cfg = SearchConfig.from_dict(SearchConfig(inits=("expert",)).to_dict())
         assert cfg.inits == ("expert",)
         assert isinstance(cfg.inits, tuple)
+
+    def test_cluster_serializes_as_list_restores_as_tuple(self):
+        """JSON has no tuples: the worker-daemon address list must survive
+        the round trip losslessly (config equality included)."""
+        cfg = full_config()
+        payload = cfg.to_dict()
+        assert payload["execution"]["cluster"] == ["gpu-a:7070", "gpu-b:7071"]
+        restored = SearchConfig.from_json(cfg.to_json())
+        assert restored.execution.cluster == ("gpu-a:7070", "gpu-b:7071")
+        assert isinstance(restored.execution.cluster, tuple)
+        assert restored == cfg
+
+    def test_executor_defaults(self):
+        cfg = SearchConfig()
+        assert cfg.execution.executor == "auto"
+        assert cfg.execution.cluster == ()
 
 
 class TestUnknownKeys:

@@ -19,7 +19,8 @@ from repro.models.mlp import mlp
 from repro.profiler.profiler import OpProfiler
 from repro.search.mcmc import MCMCConfig, mcmc_search
 from repro.search.optimizer import optimize
-from repro.search.parallel import ChainSpec, _LocalBudget, _SharedBudget, run_chains
+from repro.search.exec.base import LocalBudget as _LocalBudget, SharedBudget as _SharedBudget
+from repro.search.parallel import ChainSpec, run_chains
 from repro.sim.simulator import Simulator
 from repro.soap.presets import data_parallelism
 from repro.soap.space import ConfigSpace

@@ -1,0 +1,425 @@
+"""Tests for the pluggable chain-executor layer (``repro.search.exec``).
+
+The load-bearing guarantee: the executor is a pure *capacity* decision.
+For a fixed spec set, ``inprocess``, ``pool``, and ``distributed``
+(loopback daemons) return bit-identical per-chain results -- even when a
+distributed worker is killed mid-search and its chain is re-queued --
+and remote workers flush their evaluations back into the coordinator's
+persistent store without sharing a filesystem.
+"""
+
+import dataclasses
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.plan import BudgetConfig, ExecutionConfig, Planner, SearchConfig, StoreConfig
+from repro.profiler.profiler import OpProfiler
+from repro.search.cache import strategy_fingerprint
+from repro.search.exec import (
+    ChainSpec,
+    DistributedExecutor,
+    ExecutionContext,
+    available_executors,
+    get_executor,
+    register_executor,
+)
+from repro.search.exec.protocol import ProtocolError, recv_msg, send_msg
+from repro.search.mcmc import MCMCConfig
+from repro.search.parallel import run_chains
+from repro.search.store import MemoryStore, StrategyStore
+from repro.search.worker import spawn_local_worker
+from repro.soap.presets import data_parallelism
+
+
+def chains_equal(a, b) -> bool:
+    """Bit-level equality of two ChainResult lists."""
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if x.name != y.name or x.skipped != y.skipped:
+            return False
+        if x.best_cost_us != y.best_cost_us or x.init_cost_us != y.init_cost_us:
+            return False
+        if x.trace.costs != y.trace.costs or x.trace.accepted != y.trace.accepted:
+            return False
+        if x.best_strategy.signature() != y.best_strategy.signature():
+            return False
+    return True
+
+
+def make_specs(graph, topo, n=2, iterations=25):
+    return [
+        ChainSpec(
+            f"chain_{i}",
+            data_parallelism(graph, topo),
+            MCMCConfig(iterations=iterations, seed=100 + i),
+        )
+        for i in range(n)
+    ]
+
+
+class _Workers:
+    """Context manager owning N loopback worker daemons."""
+
+    def __init__(self, n, **kwargs):
+        self.n = n
+        self.kwargs = kwargs
+        self.procs = []
+        self.cluster = ()
+
+    def __enter__(self):
+        spawned = [spawn_local_worker(**self.kwargs) for _ in range(self.n)]
+        self.procs = [p for p, _ in spawned]
+        self.cluster = tuple(addr for _, addr in spawned)
+        return self
+
+    def __exit__(self, *exc):
+        for p in self.procs:
+            p.terminate()
+        for p in self.procs:
+            try:
+                p.wait(timeout=10)
+            except Exception:
+                p.kill()
+        return False
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_executors()
+        assert {"inprocess", "pool", "distributed"} <= set(names)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("carrier-pigeon")
+
+    def test_run_chains_validates_executor_name(self, lenet_graph, topo2):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_chains(
+                lenet_graph, topo2, make_specs(lenet_graph, topo2), OpProfiler(),
+                executor="carrier-pigeon",
+            )
+
+    def test_custom_executor_pluggable(self, lenet_graph, topo2):
+        class EchoExecutor:
+            name = "echo-test"
+            calls = []
+
+            def run(self, ctx, specs):
+                EchoExecutor.calls.append(len(specs))
+                from repro.search.exec import InProcessExecutor
+
+                return InProcessExecutor().run(ctx, specs)
+
+        register_executor("echo-test", EchoExecutor, overwrite=True)
+        try:
+            specs = make_specs(lenet_graph, topo2, iterations=5)
+            res = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="echo-test")
+            assert EchoExecutor.calls == [len(specs)]
+            assert len(res) == len(specs)
+        finally:
+            from repro.search.exec.base import _EXECUTORS
+
+            _EXECUTORS.pop("echo-test", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_executor("inprocess", object)
+
+    def test_distributed_requires_cluster(self, lenet_graph, topo2):
+        with pytest.raises(ValueError, match="cluster"):
+            run_chains(
+                lenet_graph, topo2, make_specs(lenet_graph, topo2), OpProfiler(),
+                executor="distributed",
+            )
+
+
+class TestProtocol:
+    def test_json_and_pickle_frames_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            send_msg(a, {"type": "hello", "version": 1})
+            send_msg(a, {"type": "env", "payload": {"x": (1, 2)}}, pickled=True)
+            m1 = recv_msg(b)
+            m2 = recv_msg(b)
+            assert m1 == {"type": "hello", "version": 1}
+            assert m2["payload"]["x"] == (1, 2)  # pickle keeps tuples
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+    def test_garbage_stream_raises_protocol_error(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_untyped_payload_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            import json
+
+            payload = json.dumps([1, 2, 3]).encode()
+            a.sendall(b"J" + len(payload).to_bytes(4, "big") + payload)
+            a.close()
+            with pytest.raises(ProtocolError, match="typed"):
+                recv_msg(b)
+        finally:
+            b.close()
+
+
+class TestMemoryStore:
+    def test_snapshot_entries_are_warm_hits(self):
+        store = MemoryStore([(1, 2.5), (2, 7.0)])
+        assert store.stats.loaded == 2
+        assert store.get(1) == 2.5
+        assert store.stats.warm_hits == 1
+        assert store.get(99) is None
+        assert store.stats.misses == 1
+
+    def test_flush_then_drain_ships_new_evals_once(self):
+        store = MemoryStore([(1, 2.5)])
+        store.record(10, 4.0)
+        store.record(11, 5.0)
+        assert store.drain_outbox() == []  # nothing flushed yet
+        assert store.flush() == 2
+        assert sorted(store.drain_outbox()) == [(10, 4.0), (11, 5.0)]
+        assert store.drain_outbox() == []  # drained exactly once
+        # Recorded entries hit locally (cold, not warm).
+        assert store.get(10) == 4.0
+        assert store.stats.warm_hits == 0
+        # Snapshot entries are never re-shipped.
+        store.record(1, 999.0)
+        store.flush()
+        assert store.drain_outbox() == []
+
+
+class TestLocalExecutorParity:
+    def test_explicit_inprocess_equals_pool(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=3)
+        seq = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        par = run_chains(
+            lenet_graph, topo2, specs, OpProfiler(), executor="pool", workers=3
+        )
+        assert chains_equal(seq, par)
+
+    def test_auto_matches_legacy_selection(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=10)
+        auto = run_chains(lenet_graph, topo2, specs, OpProfiler(), workers=1)
+        explicit = run_chains(
+            lenet_graph, topo2, specs, OpProfiler(), executor="inprocess"
+        )
+        assert chains_equal(auto, explicit)
+
+    @pytest.mark.slow
+    def test_auto_with_cluster_goes_distributed(self, lenet_graph, topo2):
+        """Configuring a cluster (e.g. via REPRO_CLUSTER) without naming an
+        executor must actually use the daemons, not silently run locally."""
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=10)
+        ref = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        with _Workers(1, once=True) as w:
+            auto = run_chains(
+                lenet_graph, topo2, specs, OpProfiler(), cluster=w.cluster
+            )
+        assert chains_equal(ref, auto)
+        # The chains genuinely ran in the daemon process, not locally.
+        assert all(r.worker_pid != os.getpid() for r in auto)
+
+
+@pytest.mark.slow
+class TestDistributedExecutor:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_parity_across_all_executors(self, lenet_graph, topo2, workers):
+        """The issue's acceptance property: best strategy/cost (and whole
+        per-chain results) bit-identical across inprocess, pool, and
+        distributed for workers in {1, 4} on LeNet / 2 GPUs."""
+        specs = make_specs(lenet_graph, topo2, n=4, iterations=25)
+        inproc = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        pool = run_chains(
+            lenet_graph, topo2, specs, OpProfiler(), executor="pool", workers=workers
+        )
+        with _Workers(workers, once=True) as w:
+            dist = run_chains(
+                lenet_graph, topo2, specs, OpProfiler(),
+                executor="distributed", cluster=w.cluster,
+            )
+        assert chains_equal(inproc, pool)
+        assert chains_equal(inproc, dist)
+        best = min(r.best_cost_us for r in inproc)
+        assert best == min(r.best_cost_us for r in dist)
+
+    def test_planner_distributed_matches_inprocess(self, lenet_graph, topo2):
+        """End-to-end through the unified planner API, two loopback daemons."""
+        planner = Planner(lenet_graph, topo2)
+        cfg = SearchConfig(budget=BudgetConfig(iterations=20), seed=4)
+        local = planner.search(
+            "mcmc", cfg.replace(execution=ExecutionConfig(executor="inprocess"))
+        )
+        with _Workers(2, once=True) as w:
+            remote = planner.search(
+                "mcmc",
+                cfg.replace(
+                    execution=ExecutionConfig(executor="distributed", cluster=w.cluster)
+                ),
+            )
+        assert remote.best_cost_us == local.best_cost_us
+        assert remote.best_strategy.signature() == local.best_strategy.signature()
+        assert remote.simulations == local.simulations
+        # Distinct daemon processes actually ran the chains.
+        assert remote.extras["workers"] >= 2
+
+    def test_worker_kill_mid_search_requeues_chain(self, lenet_graph, topo2):
+        """Killing a daemon mid-chain re-queues its chain on the survivor
+        and the results stay bit-identical to the in-process run."""
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=25)
+        ref = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+
+        with _Workers(1, once=True) as fast, _Workers(1, chain_delay_s=60.0) as slow:
+            # Cluster order fixes dispatch order: the slow daemon gets the
+            # second chain and sleeps on it; we kill it mid-"run".
+            cluster = (fast.cluster[0], slow.cluster[0])
+            victim = slow.procs[0]
+            threading.Timer(1.0, victim.kill).start()
+            executor = DistributedExecutor()
+            ctx = ExecutionContext(
+                graph=lenet_graph,
+                topology=topo2,
+                profiler=OpProfiler(),
+                cluster=cluster,
+            )
+            dist = executor.run(ctx, specs)
+        assert executor.stats.requeued_chains >= 1
+        assert executor.stats.workers_died >= 1
+        assert chains_equal(ref, dist)
+
+    def test_all_workers_dead_raises(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=1, iterations=30)
+        with _Workers(1, chain_delay_s=60.0) as w:
+            threading.Timer(0.5, w.procs[0].kill).start()
+            ctx = ExecutionContext(
+                graph=lenet_graph, topology=topo2, profiler=OpProfiler(), cluster=w.cluster
+            )
+            with pytest.raises(RuntimeError, match="all distributed workers died"):
+                DistributedExecutor().run(ctx, specs)
+
+    def test_unreachable_worker_tolerated(self, lenet_graph, topo2):
+        """A dead address in the cluster degrades to the live workers."""
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=10)
+        ref = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        # A port with nothing listening: connection refused.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_addr = f"127.0.0.1:{probe.getsockname()[1]}"
+        probe.close()
+        with _Workers(1, once=True) as w:
+            with pytest.warns(RuntimeWarning, match="unavailable"):
+                dist = run_chains(
+                    lenet_graph, topo2, specs, OpProfiler(),
+                    executor="distributed", cluster=(dead_addr, w.cluster[0]),
+                )
+        assert chains_equal(ref, dist)
+
+    def test_early_stop_broadcast_skips_remote_chains(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=3, iterations=30)
+        with _Workers(1, once=True) as w:
+            res = run_chains(
+                lenet_graph, topo2, specs, OpProfiler(),
+                executor="distributed", cluster=w.cluster,
+                early_stop_cost=1e18,  # trivially met by the first init
+            )
+        assert res[0].trace.stop_reason == "early_stop"
+        assert any(r.skipped for r in res[1:])
+
+
+@pytest.mark.slow
+class TestRemoteStoreFlush:
+    def test_remote_evals_reach_coordinator_store(self, lenet_graph, topo2, tmp_path):
+        """Workers share no filesystem with the coordinator: their
+        evaluations must land in the coordinator's shard anyway."""
+        root = tmp_path / "store"
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=20)
+        executor = DistributedExecutor()
+        from repro.search.store import search_context
+
+        ctx = ExecutionContext(
+            graph=lenet_graph,
+            topology=topo2,
+            profiler=OpProfiler(),
+            store_root=str(root),
+            store_context=search_context(lenet_graph, topo2),
+        )
+        with _Workers(2, once=True) as w:
+            res = executor.run(dataclasses.replace(ctx, cluster=w.cluster), specs)
+        assert executor.stats.evals_flushed > 0
+        # The shard exists on the coordinator side and warms a fresh open.
+        reopened = StrategyStore(root, ctx.store_context)
+        assert reopened.stats.loaded > 0
+        # The best strategies' fingerprints were among the flushed entries.
+        for r in res:
+            assert strategy_fingerprint(r.best_strategy) in reopened
+
+    def test_second_distributed_run_is_warm(self, lenet_graph, topo2, tmp_path):
+        root = str(tmp_path / "store")
+        planner = Planner(lenet_graph, topo2)
+        base = SearchConfig(budget=BudgetConfig(iterations=20), seed=1, store=StoreConfig(root=root))
+        with _Workers(2, once=True) as w:
+            cfg = base.replace(
+                execution=ExecutionConfig(executor="distributed", cluster=w.cluster)
+            )
+            cold = planner.search("mcmc", cfg)
+        with _Workers(2, once=True) as w:
+            cfg = base.replace(
+                execution=ExecutionConfig(executor="distributed", cluster=w.cluster)
+            )
+            warm = planner.search("mcmc", cfg)
+        assert warm.best_cost_us == cold.best_cost_us
+        assert warm.best_strategy.signature() == cold.best_strategy.signature()
+        # The second fleet was seeded from the coordinator's snapshot:
+        # warm hits prove the remote-flush path closed the loop.
+        assert warm.store_stats.warm_hits > 0
+        assert warm.simulations < cold.simulations
+
+
+class TestWorkerDaemon:
+    def test_announce_line_and_clean_shutdown(self):
+        proc, addr = spawn_local_worker(once=True)
+        try:
+            host, port = addr.rsplit(":", 1)
+            assert host == "127.0.0.1"
+            assert int(port) > 0
+            # Daemon is accepting: a raw connect succeeds.
+            with socket.create_connection((host, int(port)), timeout=5):
+                pass
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_version_mismatch_refused(self):
+        proc, addr = spawn_local_worker(once=True)
+        try:
+            host, port = addr.rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=5) as sock:
+                sock.settimeout(10)
+                send_msg(sock, {"type": "hello", "version": 999})
+                ack = recv_msg(sock)
+                assert ack["type"] == "hello_ack"
+                # The worker hangs up on a mismatched coordinator.
+                assert recv_msg(sock) is None
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -435,3 +435,168 @@ class TestCompaction:
         assert warm.best_cost_us == cold.best_cost_us
         assert warm.store_stats.misses == 0
         assert warm.simulations == len(warm.chains)
+
+
+class TestScheduledCompaction:
+    """Compaction now triggers itself at open (AUTO_COMPACT_* thresholds):
+    a duplicate-heavy or oversized shard is rewritten before the search
+    starts, with the sweep logged on StoreStats."""
+
+    def _write_duplicate_heavy_shard(self, root, uniques=8, copies=12):
+        # Multiple handles flushing the same fingerprints produce
+        # duplicate records (each dedupes only against its own snapshot).
+        for _ in range(copies):
+            h = StrategyStore(root, CTX, auto_compact=False)
+            h._snapshot.clear()
+            for fp in range(uniques):
+                h.record(fp, float(fp) + 0.25)
+            h.flush()
+        return uniques * copies
+
+    def test_duplicate_heavy_shard_compacts_at_open(self, tmp_path):
+        from repro.search.store import AUTO_COMPACT_MIN_RECORDS
+
+        records = self._write_duplicate_heavy_shard(tmp_path)
+        assert records >= AUTO_COMPACT_MIN_RECORDS
+        size_before = os.path.getsize(_shard(tmp_path))
+        store = StrategyStore(tmp_path, CTX)
+        assert store.stats.auto_compactions == 1
+        assert store.stats.compaction_bytes_saved > 0
+        assert os.path.getsize(_shard(tmp_path)) < size_before
+        # Content is intact and a fresh open parses only unique records.
+        for fp in range(8):
+            assert store.get(fp) == float(fp) + 0.25
+        fresh = StrategyStore(tmp_path, CTX)
+        assert fresh.stats.loaded == 8
+        assert fresh.stats.auto_compactions == 0  # already tight: no re-sweep
+
+    def test_small_or_clean_shards_left_alone(self, tmp_path):
+        store = StrategyStore(tmp_path, CTX, auto_compact=False)
+        for fp in range(10):
+            store.record(fp, float(fp))
+        store.flush()
+        again = StrategyStore(tmp_path, CTX)  # few records, no duplicates
+        assert again.stats.auto_compactions == 0
+
+    def test_auto_compact_optout(self, tmp_path):
+        self._write_duplicate_heavy_shard(tmp_path)
+        size_before = os.path.getsize(_shard(tmp_path))
+        store = StrategyStore(tmp_path, CTX, auto_compact=False)
+        assert store.stats.auto_compactions == 0
+        assert os.path.getsize(_shard(tmp_path)) == size_before
+
+    def test_oversized_shard_compacts_at_open(self, tmp_path, monkeypatch):
+        """Past the size floor even a *light* duplicate ratio (below the
+        small-shard AUTO_COMPACT_DUP_RATIO bar) triggers the sweep."""
+        import repro.search.store as store_mod
+
+        monkeypatch.setattr(store_mod, "AUTO_COMPACT_MIN_BYTES", 64)
+        for _ in range(2):  # two handles: every fingerprint recorded twice
+            store = StrategyStore(tmp_path, CTX, auto_compact=False)
+            store._snapshot.clear()
+            for fp in range(20):
+                store.record(fp, float(fp))
+            store.flush()
+        assert os.path.getsize(_shard(tmp_path)) >= 64
+        swept = StrategyStore(tmp_path, CTX)
+        assert swept.stats.auto_compactions == 1
+        assert swept.stats.loaded == 20
+
+    def test_duplicate_free_shard_never_resweeps(self, tmp_path, monkeypatch):
+        """An all-unique shard past the size floor has nothing to reclaim:
+        rewriting it at every open would loop forever for zero benefit."""
+        import repro.search.store as store_mod
+
+        monkeypatch.setattr(store_mod, "AUTO_COMPACT_MIN_BYTES", 64)
+        store = StrategyStore(tmp_path, CTX, auto_compact=False)
+        for fp in range(20):
+            store.record(fp, float(fp))
+        store.flush()
+        assert os.path.getsize(_shard(tmp_path)) >= 64
+        opened = StrategyStore(tmp_path, CTX)
+        assert opened.stats.auto_compactions == 0
+
+    def test_search_through_planner_reports_auto_compaction(self, tmp_path):
+        graph = mlp(batch=8, in_dim=16, hidden=(16,), num_classes=4)
+        topo = single_node(2, "p100")
+        cold = optimize(graph, topo, budget_iters=40, seed=3, store=str(tmp_path))
+        ctx = search_context(graph, topo)
+        shard = _shard(tmp_path, ctx)
+        # Forge a duplicate-heavy shard by replaying its records many times.
+        with open(shard, encoding="utf-8") as fh:
+            lines = [l for l in fh if l.strip() and not l.startswith("#")]
+        with open(shard, "a", encoding="utf-8") as fh:
+            need = max(0, 200 - len(lines)) // max(1, len(lines)) + 1
+            for _ in range(need):
+                fh.writelines(lines)
+        warm = optimize(graph, topo, budget_iters=40, seed=3, store=str(tmp_path))
+        assert warm.best_cost_us == cold.best_cost_us
+        assert warm.store_stats.auto_compactions >= 1
+
+
+class TestReloadMidSearch:
+    """StrategyStore.reload() merges peer appends while a search runs."""
+
+    def test_reload_short_circuits_on_unchanged_file(self, tmp_path):
+        store = StrategyStore(tmp_path, CTX)
+        store.record(1, 1.0)
+        store.flush()
+        peer = StrategyStore(tmp_path, CTX)
+        assert peer.reload() == 0  # stat unchanged: no re-parse
+        # The short-circuit must never mask a real change.
+        store.record(2, 2.0)
+        store.flush()
+        assert peer.reload() == 1
+        assert peer.get(2) == 2.0
+        assert peer.stats.warm_hits == 1
+
+    def test_peer_appends_during_running_search_become_warm_hits(self, tmp_path):
+        """A second process appends to the shard *while* an MCMC search is
+        mid-chain; after reload() the peer's evaluations answer lookups as
+        warm hits in the running process."""
+        from repro.profiler.profiler import OpProfiler
+        from repro.search.mcmc import MCMCConfig, mcmc_search
+        from repro.sim.simulator import Simulator
+        from repro.soap.presets import data_parallelism as dp
+        from repro.soap.space import ConfigSpace
+
+        graph = mlp(batch=8, in_dim=16, hidden=(16,), num_classes=4)
+        topo = single_node(2, "p100")
+        ctx = search_context(graph, topo)
+        store = StrategyStore(tmp_path, ctx)
+
+        peer_fps = [0xABC0 + i for i in range(5)]
+        peer_code = (
+            "from repro.search.store import StrategyStore\n"
+            f"s = StrategyStore({str(tmp_path)!r}, {ctx!r})\n"
+            + "".join(f"s.record({fp}, {float(i)!r})\n" for i, fp in enumerate(peer_fps))
+            + f"assert s.flush() == {len(peer_fps)}\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+
+        progress = {"polls": 0, "merged": -1}
+
+        def mid_search_append():
+            # Called from inside the chain loop: the search is running.
+            progress["polls"] += 1
+            if progress["polls"] == 10:
+                subprocess.run(
+                    [sys.executable, "-c", peer_code], check=True, env=env
+                )
+                progress["merged"] = store.reload()
+            return False
+
+        sim = Simulator(graph, topo, dp(graph, topo), OpProfiler())
+        mcmc_search(
+            sim,
+            ConfigSpace(graph, topo),
+            MCMCConfig(iterations=40, seed=0, no_improve_frac=None),
+            store=store,
+            should_stop=mid_search_append,
+        )
+        assert progress["merged"] == len(peer_fps)
+        warm_before = store.stats.warm_hits
+        for i, fp in enumerate(peer_fps):
+            assert store.get(fp) == float(i)
+        assert store.stats.warm_hits == warm_before + len(peer_fps)

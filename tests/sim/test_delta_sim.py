@@ -167,3 +167,92 @@ class TestSimulatorFacade:
     def test_metrics_accessor(self, lenet_graph, topo4):
         sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
         assert sim.metrics().makespan_us == sim.cost
+
+
+class TestSnapshotPooling:
+    """Snapshot pooling recycles one scratch Timeline through the
+    propose/commit/revert cycle; it must be indistinguishable from
+    per-proposal copies in everything but allocation count."""
+
+    def _proposal_sequence(self, graph, topo, seed, steps=40):
+        rng = np.random.default_rng(seed)
+        space = ConfigSpace(graph, topo)
+        seq = []
+        for i in range(steps):
+            oid = int(rng.choice(graph.op_ids))
+            seq.append((oid, space.random_config(oid, rng), i % 3 == 0))
+        return seq
+
+    def test_pooled_equals_unpooled_costs(self, lenet_graph, topo4):
+        seq = self._proposal_sequence(lenet_graph, topo4, seed=13)
+        outcomes = {}
+        for pooled in (False, True):
+            sim = Simulator(
+                lenet_graph,
+                topo4,
+                data_parallelism(lenet_graph, topo4),
+                OpProfiler(),
+                pool_snapshots=pooled,
+            )
+            costs = []
+            for oid, cfg, accept in seq:
+                costs.append(sim.propose(oid, cfg))
+                if accept:
+                    sim.commit()
+                else:
+                    costs.append(sim.revert())
+            outcomes[pooled] = (costs, sim.cost)
+        assert outcomes[True] == outcomes[False]
+
+    def test_pooled_revert_restores_exact_timeline(self, lenet_graph, topo4):
+        rng = np.random.default_rng(3)
+        space = ConfigSpace(lenet_graph, topo4)
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        assert sim.pool_snapshots
+        base = sim.cost
+        for _ in range(12):
+            oid = int(rng.choice(lenet_graph.op_ids))
+            sim.propose(oid, space.random_config(oid, rng))
+            assert sim.revert() == base
+        # After the churn the live timeline still matches a from-scratch
+        # simulation bit-for-bit (pooling never leaks stale state).
+        assert full_simulate(sim.task_graph).equals(sim.timeline, tol=0.0)
+
+    def test_scratch_is_recycled_not_leaked(self, lenet_graph, topo4):
+        rng = np.random.default_rng(5)
+        space = ConfigSpace(lenet_graph, topo4)
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        oid = int(lenet_graph.op_ids[0])
+        sim.propose(oid, space.random_config(oid, rng))
+        sim.revert()
+        scratch_before = sim._scratch
+        assert scratch_before is not None
+        sim.propose(oid, space.random_config(oid, rng))
+        # The in-flight snapshot *is* the recycled scratch object.
+        assert sim._pending is scratch_before
+        assert sim._scratch is None
+        sim.commit()
+        assert sim._scratch is scratch_before
+
+    def test_copy_into_handles_shrinking_device_set(self):
+        from repro.sim.full_sim import Timeline
+
+        a, b = Timeline(), Timeline()
+        a.ready = {1: 0.0}
+        a.start = {1: 0.0}
+        a.end = {1: 2.0}
+        a.device_order = {0: [(0.0, (0,), 1)], 7: [(0.0, (1,), 2)]}
+        a.makespan = 2.0
+        a.copy_into(b)
+        assert b.device_order == a.device_order
+        # Now copy a timeline with *fewer* devices into the same target:
+        # stale per-device lists must disappear, not linger.
+        c = Timeline()
+        c.ready = {3: 1.0}
+        c.start = {3: 1.0}
+        c.end = {3: 4.0}
+        c.device_order = {0: [(1.0, (2,), 3)]}
+        c.makespan = 4.0
+        c.copy_into(b)
+        assert b.device_order == c.device_order
+        assert b.end == c.end and b.makespan == 4.0
