@@ -1,0 +1,157 @@
+"""Timeline-repair benchmark: full vs delta vs propagate (Table 4's engine).
+
+Measures the per-proposal cost of the three timeline algorithms on the
+Inception / 16-device acceptance setting over two proposal workloads:
+
+``mutation``
+    random configuration changes -- the regular MCMC proposal.  Their
+    timeline impact is dense (a changed op's shifted times reach nearly
+    every later task through data edges or device chains), so the true
+    change cone approaches the cut-time suffix and all three algorithms
+    do comparable task counts; ``propagate`` must still never touch
+    *more* tasks than ``delta``.
+``resplice``
+    identity reconfigurations -- the pure ``UpdateTaskGraph`` + repair
+    path, representative of splices whose timeline impact is localized.
+    Here the skip-unaffected-branches property pays in full: the
+    propagation engine repairs O(splice) tasks while the cut-time
+    algorithm re-simulates the whole suffix after the earliest change.
+
+Emits ``BENCH_delta_propagation.json`` (path overridable via
+``REPRO_BENCH_JSON``) with per-(algorithm, workload) rows -- µs/proposal,
+resimulated-task fraction, fallback rate -- plus the headline
+tasks-touched ratio.  Gates asserted for CI's perf-smoke job:
+
+* bitwise-identical costs across all three algorithms on both workloads;
+* ``propagate`` fallback rate == 0 on the smoke model;
+* ``propagate`` touches strictly fewer tasks than ``delta`` on each
+  workload, and >= 1.5x fewer over the combined proposal set.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.bench.harness import bench_model, cluster
+from repro.bench.reporting import print_table
+from repro.profiler.profiler import OpProfiler
+from repro.sim.simulator import ALGORITHMS, Simulator
+from repro.soap.presets import expert_strategy
+from repro.soap.space import ConfigSpace
+
+from conftest import run_once
+
+_SMOKE_MODEL = "inception_v3"
+_SMOKE_DEVICES = 16
+
+
+def _proposals(graph, topo, steps, seed):
+    """A deterministic mixed proposal sequence shared by every algorithm."""
+    space = ConfigSpace(graph, topo)
+    rng = np.random.default_rng(seed)
+    seq = []
+    for _ in range(steps):
+        oid = int(rng.choice(graph.op_ids))
+        seq.append(("mutation", oid, space.random_config(oid, rng)))
+    for _ in range(steps):
+        oid = int(rng.choice(graph.op_ids))
+        seq.append(("resplice", oid, None))  # replaced by the current config
+    return seq
+
+
+def _drive(graph, topo, algorithm, seq):
+    """Run the sequence; returns per-workload stats rows keyed by workload."""
+    import time
+
+    sim = Simulator(graph, topo, expert_strategy(graph, topo), OpProfiler(), algorithm=algorithm)
+    out = {}
+    for workload in ("mutation", "resplice"):
+        t0 = time.perf_counter()
+        costs = []
+        before = sim.delta_stats
+        inv0, resim0 = before.invocations, before.tasks_resimulated
+        total0 = before.tasks_total
+        fb0 = before.fallbacks + before.guard_fallbacks
+        n = 0
+        for kind, oid, cfg in seq:
+            if kind != workload:
+                continue
+            if cfg is None:
+                cfg = sim.strategy[oid]
+            costs.append(sim.reconfigure(oid, cfg))
+            n += 1
+        wall = time.perf_counter() - t0
+        st = sim.delta_stats
+        # "full" keeps no DeltaStats: it re-simulates everything by definition.
+        if algorithm == "full":
+            resim, total, fb_rate = None, None, 0.0
+        else:
+            resim = st.tasks_resimulated - resim0
+            total = st.tasks_total - total0
+            fb_rate = (
+                (st.fallbacks + st.guard_fallbacks - fb0) / max(1, st.invocations - inv0)
+            )
+        out[workload] = {
+            "algorithm": algorithm,
+            "workload": workload,
+            "proposals": n,
+            "us_per_proposal": round(wall / max(1, n) * 1e6, 1),
+            "tasks_resimulated": resim,
+            "resim_fraction": round(resim / total, 4) if total else None,
+            "fallback_rate": round(fb_rate, 4),
+            "costs": costs,
+        }
+    return out
+
+
+def test_delta_propagation(benchmark, scale):
+    graph, _ = bench_model(_SMOKE_MODEL, scale)
+    topo = cluster("p100", min(_SMOKE_DEVICES, scale.max_gpus_p100))
+    steps = 20 if scale.name == "ci" else 50
+    seq = _proposals(graph, topo, steps, seed=42)
+
+    def experiment():
+        return {alg: _drive(graph, topo, alg, seq) for alg in ALGORITHMS}
+
+    results = run_once(benchmark, experiment)
+
+    # Bitwise cost identity across algorithms, per workload.
+    for workload in ("mutation", "resplice"):
+        ref = results["full"][workload]["costs"]
+        for alg in ALGORITHMS:
+            assert results[alg][workload]["costs"] == ref, (
+                f"{alg} diverged from full on the {workload} workload"
+            )
+
+    rows = []
+    for alg in ("full", "delta", "propagate"):
+        for workload in ("mutation", "resplice"):
+            row = dict(results[alg][workload])
+            row.pop("costs")
+            rows.append(row)
+
+    prop_touched = sum(results["propagate"][w]["tasks_resimulated"] for w in ("mutation", "resplice"))
+    delta_touched = sum(results["delta"][w]["tasks_resimulated"] for w in ("mutation", "resplice"))
+    headline = {
+        "model": _SMOKE_MODEL,
+        "devices": topo.num_devices,
+        "proposals_per_workload": steps,
+        "propagate_tasks_touched": prop_touched,
+        "delta_tasks_touched": delta_touched,
+        "touched_ratio_delta_over_propagate": round(delta_touched / max(1, prop_touched), 2),
+    }
+    print_table(rows, "Timeline repair -- full vs delta vs propagate (us/proposal)")
+    print_table([headline], "Headline: tasks touched, delta vs propagate")
+
+    out = os.environ.get("REPRO_BENCH_JSON") or "BENCH_delta_propagation.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump({"rows": rows, "headline": headline}, fh, indent=2)
+
+    # CI gates.
+    for workload in ("mutation", "resplice"):
+        p = results["propagate"][workload]
+        d = results["delta"][workload]
+        assert p["fallback_rate"] == 0.0, (workload, p)
+        assert p["tasks_resimulated"] < d["tasks_resimulated"], (workload, p, d)
+    assert headline["touched_ratio_delta_over_propagate"] >= 1.5, headline

@@ -66,6 +66,10 @@ class BenchScale:
     # bit-identical across executors (see repro.search.exec).
     search_executor: str = "auto"
     search_cluster: tuple[str, ...] = ()
+    # Timeline algorithm driving every search's simulator
+    # ("full"/"delta"/"propagate"); result-neutral (bit-identical
+    # timelines), pure throughput.  REPRO_SIM_ALGO overrides.
+    sim_algorithm: str = "delta"
 
 
 CI_SCALE = BenchScale(
@@ -100,10 +104,12 @@ def current_scale() -> BenchScale:
 
     ``REPRO_WORKERS`` and ``REPRO_CACHE`` override the scale's search
     fan-out and cache capacity, ``REPRO_CACHE_DIR`` points the persistent
-    cross-run strategy store at a directory, and ``REPRO_EXECUTOR`` /
+    cross-run strategy store at a directory, ``REPRO_EXECUTOR`` /
     ``REPRO_CLUSTER`` select the chain executor and its worker-daemon
-    cluster (comma-separated ``host:port`` list) -- results are invariant
-    to all of these; only wall time and cache accounting change.
+    cluster (comma-separated ``host:port[*capacity]`` list), and
+    ``REPRO_SIM_ALGO`` picks the timeline algorithm
+    (``full``/``delta``/``propagate``) -- results are invariant to all of
+    these; only wall time and cache accounting change.
     """
     scale = FULL_SCALE if os.environ.get("REPRO_FULL") == "1" else CI_SCALE
     overrides = {}
@@ -119,6 +125,13 @@ def current_scale() -> BenchScale:
         from repro.search.exec import parse_cluster
 
         overrides["search_cluster"] = parse_cluster(os.environ["REPRO_CLUSTER"])
+    if os.environ.get("REPRO_SIM_ALGO"):
+        from repro.sim.simulator import ALGORITHMS
+
+        algo = os.environ["REPRO_SIM_ALGO"]
+        if algo not in ALGORITHMS:
+            raise ValueError(f"REPRO_SIM_ALGO={algo!r}; valid: {ALGORITHMS}")
+        overrides["sim_algorithm"] = algo
     return replace(scale, **overrides) if overrides else scale
 
 
@@ -190,6 +203,7 @@ def search_config(
         store=StoreConfig(root=scale.store_dir if store_dir is ... else store_dir),
         inits=tuple(inits),
         seed=seed,
+        algorithm=scale.sim_algorithm,
         backend_options={"reinforce": {"episodes": scale.reinforce_episodes}},
     )
 

@@ -141,6 +141,12 @@ class SearchConfig:
     early_stop: EarlyStopConfig = EarlyStopConfig()
     inits: tuple[str, ...] = ("data_parallel", "random")
     seed: int = 0
+    # Timeline algorithm the chains' simulators run: "delta" (cut-time
+    # incremental repair, the default), "propagate" (change propagation
+    # with branch skipping, see repro.sim.propagate), or "full"
+    # (from-scratch).  Result-neutral -- all three are bit-identical --
+    # and serialized like every other field, so remote ChainSpec dispatch
+    # honors it.
     algorithm: str = "delta"
     beta_scale: float = 50.0
     backend_options: dict = field(default_factory=dict)

@@ -38,6 +38,7 @@ from repro.search.exec.base import (
     run_one_chain,
 )
 from repro.search.exec.distributed import (
+    ClusterSpec,
     DispatchStats,
     DistributedExecutor,
     parse_cluster,
@@ -56,6 +57,7 @@ __all__ = [
     "ChainExecutor",
     "ChainResult",
     "ChainSpec",
+    "ClusterSpec",
     "DispatchStats",
     "DistributedExecutor",
     "ExecutionContext",

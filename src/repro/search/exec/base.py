@@ -282,7 +282,9 @@ def run_one_chain(
         spec.init,
         ctx.profiler,
         training=ctx.training,
-        algorithm=ctx.algorithm,
+        # A chain may pin its own simulation algorithm; the context's is
+        # the fleet-wide default.  Either way the choice is result-neutral.
+        algorithm=spec.config.algorithm or ctx.algorithm,
     )
     init_cost = sim.cost
     if best is not None:

@@ -50,7 +50,13 @@ from repro.search.exec.protocol import (
 )
 from repro.search.store import StrategyStore
 
-__all__ = ["DispatchStats", "DistributedExecutor", "parse_address", "parse_cluster"]
+__all__ = [
+    "ClusterSpec",
+    "DispatchStats",
+    "DistributedExecutor",
+    "parse_address",
+    "parse_cluster",
+]
 
 _CONNECT_TIMEOUT_S = 10.0
 _HANDSHAKE_TIMEOUT_S = 30.0
@@ -64,11 +70,50 @@ def parse_address(addr: str) -> tuple[str, int]:
     return host, int(port)
 
 
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster entry: a worker address plus an optional capacity cap.
+
+    The wire format stays a plain string (``ExecutionConfig.cluster`` and
+    ``REPRO_CLUSTER`` round-trip through JSON unchanged): ``"host:port"``
+    accepts whatever concurrency the daemon announces (its
+    ``--capacity``), ``"host:port*N"`` additionally caps the chains this
+    coordinator keeps in flight there at ``N`` -- the effective capacity
+    is ``min(announced, cap)``, never below 1.
+    """
+
+    address: str
+    cap: int | None = None
+
+    @classmethod
+    def parse(cls, entry: str) -> "ClusterSpec":
+        addr, sep, cap = entry.partition("*")
+        parse_address(addr)  # validate eagerly
+        if not sep:
+            return cls(address=addr)
+        try:
+            cap_n = int(cap)
+        except ValueError:
+            cap_n = 0
+        if cap_n < 1:
+            raise ValueError(
+                f"cluster entry {entry!r}: capacity cap must be a positive "
+                "integer (form host:port*N)"
+            )
+        return cls(address=addr, cap=cap_n)
+
+    def effective_capacity(self, announced: int) -> int:
+        cap = max(1, int(announced))
+        if self.cap is not None:
+            cap = min(cap, self.cap)
+        return cap
+
+
 def parse_cluster(spec: str) -> tuple[str, ...]:
-    """A comma-separated ``host:port`` list (the ``REPRO_CLUSTER`` format)."""
+    """A comma-separated ``host:port[*N]`` list (the ``REPRO_CLUSTER`` format)."""
     addrs = tuple(a.strip() for a in spec.split(",") if a.strip())
     for a in addrs:
-        parse_address(a)  # validate eagerly
+        ClusterSpec.parse(a)  # validate eagerly
     return addrs
 
 
@@ -82,19 +127,21 @@ class DispatchStats:
     requeued_chains: int = 0
     evals_flushed: int = 0  # remote evaluations recorded into the local store
     best_broadcasts: int = 0
+    total_capacity: int = 0  # sum of effective per-worker chain capacities
     dead_addresses: list[str] = field(default_factory=list)
 
 
 class _Worker:
     """Coordinator-side handle of one connected daemon."""
 
-    __slots__ = ("addr", "sock", "task", "pid")
+    __slots__ = ("addr", "sock", "tasks", "pid", "capacity")
 
-    def __init__(self, addr: str, sock: socket.socket, pid: int):
+    def __init__(self, addr: str, sock: socket.socket, pid: int, capacity: int = 1):
         self.addr = addr
         self.sock = sock
-        self.task: int | None = None  # index of the in-flight chain
+        self.tasks: set[int] = set()  # indexes of the in-flight chains
         self.pid = pid
+        self.capacity = max(1, capacity)
 
 
 class DistributedExecutor:
@@ -106,17 +153,18 @@ class DistributedExecutor:
         self.stats = DispatchStats()
 
     # -- connection management ---------------------------------------------
-    def _connect(self, addr: str, ctx: ExecutionContext, store_entries) -> _Worker:
-        host, port = parse_address(addr)
+    def _connect(self, entry: str, ctx: ExecutionContext, store_entries) -> _Worker:
+        spec = ClusterSpec.parse(entry)
+        host, port = parse_address(spec.address)
         sock = socket.create_connection((host, port), timeout=_CONNECT_TIMEOUT_S)
         sock.settimeout(_HANDSHAKE_TIMEOUT_S)
         send_msg(sock, {"type": "hello", "version": PROTOCOL_VERSION})
         ack = recv_msg(sock)
         if ack is None or ack.get("type") != "hello_ack":
-            raise ProtocolError(f"worker {addr} did not acknowledge the handshake: {ack!r}")
+            raise ProtocolError(f"worker {entry} did not acknowledge the handshake: {ack!r}")
         if ack.get("version") != PROTOCOL_VERSION:
             raise ProtocolError(
-                f"worker {addr} speaks protocol v{ack.get('version')}, "
+                f"worker {entry} speaks protocol v{ack.get('version')}, "
                 f"coordinator speaks v{PROTOCOL_VERSION}"
             )
         send_msg(
@@ -127,10 +175,11 @@ class DistributedExecutor:
         # Chains can legitimately run for minutes: worker liveness is
         # detected by EOF/reset, not by read timeouts.
         sock.settimeout(None)
-        return _Worker(addr, sock, int(ack.get("pid", 0)))
+        capacity = spec.effective_capacity(int(ack.get("capacity", 1)))
+        return _Worker(spec.address, sock, int(ack.get("pid", 0)), capacity)
 
     def _drop(self, worker: _Worker, sel: selectors.BaseSelector, queue: deque) -> None:
-        """Forget a dead worker, re-queueing its in-flight chain."""
+        """Forget a dead worker, re-queueing its in-flight chains."""
         try:
             sel.unregister(worker.sock)
         except (KeyError, ValueError):
@@ -141,12 +190,12 @@ class DistributedExecutor:
             pass
         self.stats.workers_died += 1
         self.stats.dead_addresses.append(worker.addr)
-        if worker.task is not None:
-            # Chains are pure: a re-run on a surviving worker returns the
-            # bit-identical result the dead worker would have.
-            queue.appendleft(worker.task)
+        # Chains are pure: re-runs on surviving workers return the
+        # bit-identical results the dead worker would have.
+        for task in sorted(worker.tasks, reverse=True):
+            queue.appendleft(task)
             self.stats.requeued_chains += 1
-            worker.task = None
+        worker.tasks.clear()
 
     # -- main loop ---------------------------------------------------------
     def run(self, ctx: ExecutionContext, specs: list[ChainSpec]) -> list[ChainResult]:
@@ -186,6 +235,7 @@ class DistributedExecutor:
                 f"no distributed workers reachable in cluster {list(ctx.cluster)}"
             )
         self.stats.workers_connected = len(workers)
+        self.stats.total_capacity = sum(w.capacity for w in workers)
 
         sel = selectors.DefaultSelector()
         for w in workers:
@@ -197,28 +247,34 @@ class DistributedExecutor:
         best_cost = float("inf")
 
         def dispatch() -> None:
-            restart = True
-            while restart:
-                restart = False
-                for w in workers:
-                    if w.task is None and queue:
-                        task = queue.popleft()
-                        try:
-                            send_msg(
-                                w.sock,
-                                {"type": "chain", "task": task, "spec": specs[task]},
-                                pickled=True,
-                            )
-                        except OSError:
-                            queue.appendleft(task)
-                            workers.remove(w)
-                            self._drop(w, sel, queue)
-                            # Re-scan the shrunk fleet immediately: the
-                            # remaining idle workers must not wait out a
-                            # select timeout for their chains.
-                            restart = True
-                            break
-                        w.task = task
+            # Keep every worker filled to its capacity, spreading chains
+            # one at a time so a capacity-N daemon is not handed N chains
+            # while an idle sibling waits.  A send failure drops the
+            # worker and re-scans immediately: its re-queued chains must
+            # not wait out a select timeout for a new home.
+            progress = True
+            while progress and queue:
+                progress = False
+                for w in list(workers):
+                    if not queue:
+                        break
+                    if len(w.tasks) >= w.capacity:
+                        continue
+                    task = queue.popleft()
+                    try:
+                        send_msg(
+                            w.sock,
+                            {"type": "chain", "task": task, "spec": specs[task]},
+                            pickled=True,
+                        )
+                    except OSError:
+                        queue.appendleft(task)
+                        workers.remove(w)
+                        self._drop(w, sel, queue)
+                        progress = True
+                        continue
+                    w.tasks.add(task)
+                    progress = True
 
         try:
             while done < len(specs):
@@ -243,7 +299,7 @@ class DistributedExecutor:
                         task = msg["task"]
                         results[task] = msg["result"]
                         done += 1
-                        w.task = None
+                        w.tasks.discard(task)
                         evals = msg.get("evals") or []
                         if store is not None and evals:
                             for fp, cost in evals:

@@ -169,9 +169,20 @@ def search_context(
     equal; everything the cost depends on besides the strategy is folded
     in (see the module docstring).  Pass either ``profiler`` or a bare
     ``noise_amplitude``; both default to the noiseless profiler.
+
+    The three built-in timeline algorithms (``full``/``delta``/
+    ``propagate``) produce bit-identical costs (property-tested at
+    ``tol=0`` in ``tests/sim``), so they address one shard: a search
+    run under ``algorithm="propagate"`` warm-starts from evaluations a
+    delta- or full-simulation search flushed, and vice versa.  Unknown
+    algorithm names still get their own context.
     """
     if noise_amplitude is None:
         noise_amplitude = profiler.noise_amplitude if profiler is not None else 0.0
+    from repro.sim.simulator import ALGORITHMS
+
+    if algorithm in ALGORITHMS:
+        algorithm = "delta"  # canonical token: keeps delta-era shards warm
     return _blake(
         [
             f"store-v{STORE_FORMAT_VERSION}",

@@ -16,6 +16,13 @@ session:
   evaluates against an in-memory :class:`~repro.search.store.MemoryStore`
   overlay, and ships newly recorded evaluations back with each result
   for the coordinator to flush (the remote-flush path).
+* **Capacity.**  ``--capacity N`` runs up to ``N`` chains concurrently
+  per coordinator session (one big machine serving as several workers):
+  the session starts ``N`` runner threads draining one job queue, each
+  with its own evaluation cache and store overlay, and announces the
+  capacity in the protocol handshake so the coordinator's dispatch
+  accounting keeps ``N`` chains in flight here.  Chains are pure
+  functions of their spec, so concurrency never changes results.
 * **Lifecycle.**  ``bye`` (or coordinator EOF) ends the session and the
   daemon goes back to accepting; ``--once`` exits after the first
   session.  A chain orphaned by a dead coordinator runs to completion
@@ -23,7 +30,7 @@ session:
 
 Run::
 
-    python -m repro.search.worker --bind 0.0.0.0:7070
+    python -m repro.search.worker --bind 0.0.0.0:7070 --capacity 2
 
 On startup the daemon prints ``REPRO-WORKER <host> <port>`` to stdout
 (with ``--bind host:0`` the kernel picks the port), which is what
@@ -94,12 +101,23 @@ def _log(msg: str) -> None:
     print(f"[repro-worker pid={os.getpid()}] {msg}", file=sys.stderr, flush=True)
 
 
-def _serve_connection(conn: socket.socket, *, chain_delay_s: float = 0.0) -> None:
+def _serve_connection(
+    conn: socket.socket, *, chain_delay_s: float = 0.0, capacity: int = 1
+) -> None:
     """One coordinator session: env, chains, results, bye."""
+    capacity = max(1, int(capacity))
     hello = recv_msg(conn)
     if hello is None or hello.get("type") != "hello":
         raise ProtocolError(f"expected hello, got {hello!r}")
-    send_msg(conn, {"type": "hello_ack", "version": PROTOCOL_VERSION, "pid": os.getpid()})
+    send_msg(
+        conn,
+        {
+            "type": "hello_ack",
+            "version": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "capacity": capacity,
+        },
+    )
     if hello.get("version") != PROTOCOL_VERSION:
         _log(
             f"refusing coordinator speaking protocol v{hello.get('version')} "
@@ -125,9 +143,19 @@ def _serve_connection(conn: socket.socket, *, chain_delay_s: float = 0.0) -> Non
     # would be pure wasted wire traffic.
     best = _RemoteBest(None)
     jobs: "queue.Queue[tuple[int, object] | None]" = queue.Queue()
-    state: dict = {"ctx": None, "cache": None, "store": None}
+    state: dict = {"ctx": None, "store_entries": []}
 
     def run_jobs() -> None:
+        # Per-thread evaluation cache and store overlay: chains running
+        # concurrently in one daemon never contend on shared mutable
+        # state, and each result ships exactly the evaluations its own
+        # chain recorded (the cache/store are result-neutral, so the
+        # partitioning changes accounting only).
+        ctx = state["ctx"]
+        cache = SimulationCache(ctx.cache_size) if ctx.cache_size > 0 else None
+        store = (
+            MemoryStore(state["store_entries"]) if ctx.store_root is not None else None
+        )
         while True:
             item = jobs.get()
             if item is None:
@@ -141,10 +169,7 @@ def _serve_connection(conn: socket.socket, *, chain_delay_s: float = 0.0) -> Non
             # failure means the connection is gone and the thread should
             # exit, otherwise the coordinator waits on this worker forever.
             try:
-                result = run_one_chain(
-                    state["ctx"], spec, state["cache"], state["store"], best, None
-                )
-                store = state["store"]
+                result = run_one_chain(ctx, spec, cache, store, best, None)
                 evals = store.drain_outbox() if store is not None else []
                 reply = {"type": "result", "task": task, "result": result, "evals": evals}
             except Exception as exc:
@@ -163,7 +188,7 @@ def _serve_connection(conn: socket.socket, *, chain_delay_s: float = 0.0) -> Non
                 except OSError:
                     return
 
-    runner: threading.Thread | None = None
+    runners: list[threading.Thread] = []
     try:
         while True:
             msg = recv_msg(conn)
@@ -171,23 +196,29 @@ def _serve_connection(conn: socket.socket, *, chain_delay_s: float = 0.0) -> Non
                 break
             kind = msg.get("type")
             if kind == "env":
+                if state["ctx"] is not None:
+                    # The runner threads snapshot the environment once at
+                    # start; silently accepting a replacement would leave
+                    # them computing against the stale one.
+                    raise ProtocolError("duplicate env in one coordinator session")
                 ctx = msg["ctx"]
                 if not isinstance(ctx, ExecutionContext):
                     raise ProtocolError(f"env.ctx is {type(ctx).__name__}, not ExecutionContext")
                 state["ctx"] = ctx
                 best._send = send_best if ctx.early_stop_cost is not None else None
-                state["cache"] = SimulationCache(ctx.cache_size) if ctx.cache_size > 0 else None
                 # The overlay exists iff the coordinator has a store: its
                 # snapshot warms this worker, and everything newly
                 # recorded is shipped back for the coordinator to flush.
-                state["store"] = (
-                    MemoryStore(msg.get("store_entries") or [])
-                    if ctx.store_root is not None
-                    else None
-                )
-                if runner is None:
-                    runner = threading.Thread(target=run_jobs, daemon=True, name="chain-runner")
-                    runner.start()
+                state["store_entries"] = msg.get("store_entries") or []
+                if not runners:
+                    runners = [
+                        threading.Thread(
+                            target=run_jobs, daemon=True, name=f"chain-runner-{i}"
+                        )
+                        for i in range(capacity)
+                    ]
+                    for t in runners:
+                        t.start()
             elif kind == "chain":
                 if state["ctx"] is None:
                     raise ProtocolError("chain received before env")
@@ -199,9 +230,12 @@ def _serve_connection(conn: socket.socket, *, chain_delay_s: float = 0.0) -> Non
             else:
                 raise ProtocolError(f"unexpected message {kind!r} from coordinator")
     finally:
-        jobs.put(None)
-        if runner is not None:
-            runner.join()
+        for _ in runners:
+            jobs.put(None)
+        if not runners:
+            jobs.put(None)
+        for t in runners:
+            t.join()
         try:
             conn.close()
         except OSError:
@@ -213,6 +247,7 @@ def serve(
     *,
     once: bool = False,
     chain_delay_s: float = 0.0,
+    capacity: int = 1,
     announce_stream=None,
 ) -> None:
     """Listen on ``bind`` and serve coordinator sessions until killed.
@@ -236,7 +271,7 @@ def serve(
             conn, addr = srv.accept()
             _log(f"coordinator connected from {addr[0]}:{addr[1]}")
             try:
-                _serve_connection(conn, chain_delay_s=chain_delay_s)
+                _serve_connection(conn, chain_delay_s=chain_delay_s, capacity=capacity)
             except (ProtocolError, OSError) as exc:
                 _log(f"session ended abnormally: {exc!r}")
             else:
@@ -251,6 +286,7 @@ def spawn_local_worker(
     *,
     once: bool = False,
     chain_delay_s: float = 0.0,
+    capacity: int = 1,
     env: dict | None = None,
 ) -> tuple["subprocess.Popen", str]:
     """Start a loopback worker daemon subprocess; returns ``(proc, "host:port")``.
@@ -271,6 +307,8 @@ def spawn_local_worker(
         args.append("--once")
     if chain_delay_s > 0.0:
         args += ["--chain-delay-s", str(chain_delay_s)]
+    if capacity != 1:
+        args += ["--capacity", str(capacity)]
     proc = subprocess.Popen(args, stdout=subprocess.PIPE, text=True, env=full_env)
     assert proc.stdout is not None
     line = proc.stdout.readline().strip()
@@ -298,6 +336,13 @@ def main(argv: list[str] | None = None) -> int:
         help="exit after serving one coordinator session",
     )
     parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        metavar="N",
+        help="chains run concurrently per coordinator session (default %(default)s)",
+    )
+    parser.add_argument(
         "--chain-delay-s",
         type=float,
         default=0.0,
@@ -305,7 +350,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     try:
-        serve(args.bind, once=args.once, chain_delay_s=args.chain_delay_s)
+        serve(
+            args.bind,
+            once=args.once,
+            chain_delay_s=args.chain_delay_s,
+            capacity=args.capacity,
+        )
     except KeyboardInterrupt:
         _log("interrupted; shutting down")
     return 0

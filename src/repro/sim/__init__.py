@@ -6,16 +6,20 @@
 # invalidates every cross-run cache entry without touching disk.
 SIMULATOR_VERSION = 1
 
+from repro.sim.arrays import TaskArrays
 from repro.sim.delta_sim import DeltaStats, delta_simulate
 from repro.sim.full_sim import Timeline, full_simulate
 from repro.sim.metrics import IterationMetrics, compute_metrics, throughput_samples_per_sec
-from repro.sim.simulator import Simulator, simulate_strategy
+from repro.sim.propagate import propagate_simulate
+from repro.sim.simulator import ALGORITHMS, Simulator, simulate_strategy
 from repro.sim.taskgraph import Task, TaskGraph, TaskKind
 
 __all__ = [
     "SIMULATOR_VERSION",
+    "ALGORITHMS",
     "DeltaStats",
     "delta_simulate",
+    "propagate_simulate",
     "Timeline",
     "full_simulate",
     "IterationMetrics",
@@ -24,6 +28,7 @@ __all__ = [
     "Simulator",
     "simulate_strategy",
     "Task",
+    "TaskArrays",
     "TaskGraph",
     "TaskKind",
 ]

@@ -1,0 +1,216 @@
+"""Flat struct-of-arrays view of the task graph (the simulators' substrate).
+
+The task graph's source of truth is a ``dict[int, Task]`` of small
+objects -- convenient for construction and splicing, but every simulator
+sweep then pays a dict probe plus an attribute load per field access,
+repeated for every task of every proposal.  :class:`TaskArrays` is the
+cache-friendly mirror the hot loops read instead: one contiguous
+``array`` per static property (``exe``/``dev``/``rank``), adjacency as
+CSR-style per-slot row segments, and a dense *slot* index so per-task
+state inside a sweep can live in plain lists.
+
+Slots and free-list recycling
+-----------------------------
+Task *ids* grow monotonically across incremental reconfigurations (every
+splice allocates fresh ids), so id-indexed arrays would grow without
+bound over a search.  Each live task therefore occupies a *slot*; slots
+freed by a splice go on a free list and are handed to the tasks the same
+splice (or a later one) creates, so the arrays stay exactly as large as
+the peak live-task count.
+
+Adjacency
+---------
+``ins[slot]``/``outs[slot]`` hold the predecessor/successor *slots* of
+the task in ``slot`` -- the row-segment layout of a CSR matrix, kept as
+one mutable row per slot rather than a single flat buffer because
+splices must edit individual rows in place (a packed index/offset pair
+cannot absorb incremental inserts without a compaction sweep, which
+would re-introduce the per-proposal O(n) cost this module removes).
+
+Canonical-key ranks
+-------------------
+The simulators break ready-time ties by :attr:`~repro.sim.taskgraph.Task.ckey`,
+a structural tuple.  Tuple comparisons in a priority queue are the
+single hottest comparison site, so every distinct ckey is interned to an
+integer *rank* with the defining property ``rank(a) < rank(b)`` iff
+``a < b`` for all interned keys -- heaps ordered by ``(time, rank)``
+therefore pop in exactly the ``(time, ckey)`` order of the reference
+algorithms, keeping timelines bit-identical.  Interning a key that sorts
+between existing ones renumbers the tail of the table (and refreshes the
+live ``rank`` column); the ckey universe of a search problem is finite,
+so renumbering frequency decays to zero as the table saturates.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+
+__all__ = ["TaskArrays"]
+
+
+class TaskArrays:
+    """Struct-of-arrays mirror of a :class:`~repro.sim.taskgraph.TaskGraph`.
+
+    Maintained *incrementally* by the task graph's construction and
+    splice paths (:meth:`add`, :meth:`link`, :meth:`discard`); the
+    simulators only ever read it.
+    """
+
+    __slots__ = (
+        "exe",
+        "dev",
+        "rank",
+        "tid",
+        "kind",
+        "nbytes",
+        "ckey",
+        "ins",
+        "outs",
+        "slot_of",
+        "free",
+        "_sorted_ckeys",
+        "_ckey_rank",
+    )
+
+    def __init__(self) -> None:
+        self.exe = array("d")  # per-slot execution time (us)
+        self.dev = array("q")  # per-slot device / connection id
+        self.rank = array("q")  # per-slot interned ckey rank
+        self.tid = array("q")  # per-slot task id, -1 when the slot is free
+        self.kind = array("b")  # per-slot TaskKind value
+        self.nbytes = array("d")  # per-slot transfer volume (COMM tasks)
+        self.ckey: list[tuple | None] = []  # per-slot canonical key
+        self.ins: list[list[int]] = []  # per-slot predecessor slots (CSR row)
+        self.outs: list[list[int]] = []  # per-slot successor slots (CSR row)
+        self.slot_of: dict[int, int] = {}  # live task id -> slot
+        self.free: list[int] = []  # recycled slots (LIFO)
+        self._sorted_ckeys: list[tuple] = []  # all distinct ckeys, sorted
+        self._ckey_rank: dict[tuple, int] = {}
+
+    # -- ckey interning ----------------------------------------------------
+    def intern(self, ckey: tuple) -> int:
+        """The rank of ``ckey``: order-preserving over all interned keys."""
+        r = self._ckey_rank.get(ckey)
+        if r is not None:
+            return r
+        idx = bisect_left(self._sorted_ckeys, ckey)
+        self._sorted_ckeys.insert(idx, ckey)
+        if idx == len(self._sorted_ckeys) - 1:
+            # Appending at the tail keeps every existing rank valid.
+            self._ckey_rank[ckey] = idx
+            return idx
+        # Mid-table insert: renumber the tail and refresh live slots whose
+        # key now ranks one higher.  Rare once the key universe saturates.
+        ranks = self._ckey_rank
+        for i in range(idx, len(self._sorted_ckeys)):
+            ranks[self._sorted_ckeys[i]] = i
+        rank_col, ckeys = self.rank, self.ckey
+        for slot, ck in enumerate(ckeys):
+            if ck is not None and rank_col[slot] >= idx:
+                rank_col[slot] = ranks[ck]
+        return idx
+
+    # -- slot lifecycle ----------------------------------------------------
+    def add(
+        self,
+        tid: int,
+        exe_time: float,
+        device: int,
+        ckey: tuple,
+        kind: int = 0,
+        nbytes: float = 0.0,
+    ) -> int:
+        """Assign a slot to a new live task; returns the slot."""
+        rank = self.intern(ckey)
+        if self.free:
+            slot = self.free.pop()
+            self.exe[slot] = exe_time
+            self.dev[slot] = device
+            self.rank[slot] = rank
+            self.tid[slot] = tid
+            self.kind[slot] = kind
+            self.nbytes[slot] = nbytes
+            self.ckey[slot] = ckey
+            # Rows were cleared by discard(); reuse the list objects.
+        else:
+            slot = len(self.tid)
+            self.exe.append(exe_time)
+            self.dev.append(device)
+            self.rank.append(rank)
+            self.tid.append(tid)
+            self.kind.append(kind)
+            self.nbytes.append(nbytes)
+            self.ckey.append(ckey)
+            self.ins.append([])
+            self.outs.append([])
+        self.slot_of[tid] = slot
+        return slot
+
+    def link(self, src_tid: int, dst_tid: int) -> None:
+        """Record the dependency edge ``src -> dst`` (both must be live)."""
+        a = self.slot_of[src_tid]
+        b = self.slot_of[dst_tid]
+        self.outs[a].append(b)
+        self.ins[b].append(a)
+
+    def discard(self, tid: int) -> None:
+        """Free a task's slot, scrubbing it from living neighbors' rows.
+
+        Safe to call in any order over a batch of removals: rows of
+        already-freed neighbors are skipped (their slots read ``tid=-1``).
+        Slots freed by a batch are only reused by :meth:`add` calls made
+        *after* the batch, which is how both splice paths sequence their
+        mutations.
+        """
+        slot = self.slot_of.pop(tid)
+        live = self.tid
+        for p in self.ins[slot]:
+            if live[p] != -1:
+                self.outs[p].remove(slot)
+        for s in self.outs[slot]:
+            if live[s] != -1:
+                self.ins[s].remove(slot)
+        self.ins[slot].clear()
+        self.outs[slot].clear()
+        live[slot] = -1
+        self.ckey[slot] = None
+        self.free.append(slot)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def num_live(self) -> int:
+        return len(self.slot_of)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.tid)
+
+    def check_consistent(self, tasks: dict) -> None:
+        """Assert this mirror exactly matches a ``{tid: Task}`` dict.
+
+        Test-suite helper: raises ``AssertionError`` on any divergence
+        (membership, static columns, adjacency as sets, rank ordering).
+        """
+        assert set(self.slot_of) == set(tasks), (
+            f"live-id mismatch: arrays={sorted(self.slot_of)} tasks={sorted(tasks)}"
+        )
+        for tid, t in tasks.items():
+            slot = self.slot_of[tid]
+            assert self.tid[slot] == tid
+            assert self.exe[slot] == t.exe_time, f"exe mismatch for task {tid}"
+            assert self.dev[slot] == t.device, f"device mismatch for task {tid}"
+            assert self.kind[slot] == int(t.kind), f"kind mismatch for task {tid}"
+            assert self.nbytes[slot] == t.nbytes, f"nbytes mismatch for task {tid}"
+            assert self.ckey[slot] == t.ckey, f"ckey mismatch for task {tid}"
+            assert self.rank[slot] == self._ckey_rank[t.ckey]
+            got_ins = sorted(self.tid[p] for p in self.ins[slot])
+            got_outs = sorted(self.tid[s] for s in self.outs[slot])
+            assert got_ins == sorted(t.ins), f"ins mismatch for task {tid}"
+            assert got_outs == sorted(t.outs), f"outs mismatch for task {tid}"
+        # Rank table is a bijection consistent with ckey ordering.
+        for a, b in zip(self._sorted_ckeys, self._sorted_ckeys[1:]):
+            assert a < b and self._ckey_rank[a] < self._ckey_rank[b]
+        for slot in self.free:
+            assert self.tid[slot] == -1
+            assert not self.ins[slot] and not self.outs[slot]

@@ -1,4 +1,4 @@
-"""Delta simulation algorithm (Algorithm 2 of the paper).
+"""Delta simulation algorithm (Algorithm 2 of the paper), cut-time variant.
 
 The MCMC optimizer changes one weight-group's configuration per proposal,
 so most of the previous execution timeline remains valid.  Instead of
@@ -26,17 +26,33 @@ boundary conditions, "the full and delta simulation algorithms always
 produce the same timeline" (Section 5.3) holds by construction; the
 property is additionally enforced by hypothesis tests in ``tests/sim``.
 
-**Fidelity note (see EXPERIMENTS.md):** the paper's delta implementation
-propagates incremental updates and can skip unaffected parallel branches
-*after* the first change, reporting 2.2-6.9x end-to-end search speedups.
-A change-propagation variant proved pathologically cascade-prone under
-CPython's interpreter costs, so this implementation trades some of that
-upside for a single-pass algorithm with a correctness proof; measured
-speedups are smaller (roughly 1.2-2.5x, growing when mutations land late
-in the timeline) but the qualitative Table 4 result -- delta faster,
-advantage growing with device count -- is preserved.  A defensive check
-falls back to full simulation if a suffix task ever becomes ready before
-the cut (never observed; counted in :attr:`DeltaStats.fallbacks`).
+**Fidelity note:** this cut-time variant re-simulates *every* task
+ordered at or after the earliest change, including parallel branches the
+change cannot reach -- a conservative over-approximation that is simple
+to prove correct but forfeits the skip-unaffected-branches property the
+paper's delta implementation exploits for its 2.2-6.9x end-to-end search
+speedups.  :mod:`repro.sim.propagate` (``algorithm="propagate"``) now
+implements that property: a true change-propagation engine that walks
+only *actually-changed* tasks, terminates each branch the moment a
+recomputed ``(ready, start, end)`` triple equals its old value, and
+falls back to this algorithm (then to full simulation) behind a cascade
+guard.  Measured on Inception/16 devices
+(``benchmarks/bench_delta_propagation.py``): splices whose timeline
+impact is localized (identity re-splices; absorbed changes) repair
+~100x fewer tasks at ~10x lower wall cost, while dense random mutations
+-- whose true change cone approaches the suffix, the regime this
+variant is tuned for -- stay at task parity with a slightly higher
+constant factor.  The cut-time variant therefore remains the default,
+the guard's safety net, and the reference the property suite checks
+both incremental algorithms against (all three algorithms produce
+bit-identical timelines, ``tol=0``).  A defensive check falls back to
+full simulation if a suffix task ever becomes ready before the cut
+(never observed; counted in :attr:`DeltaStats.fallbacks`).
+
+Like the full algorithm, the suffix sweep runs on the flat
+:class:`~repro.sim.arrays.TaskArrays` substrate -- static columns and
+adjacency rows indexed by slot, heap ordered by interned ckey rank --
+instead of probing the ``dict[int, Task]`` per field access.
 """
 
 from __future__ import annotations
@@ -53,16 +69,35 @@ __all__ = ["DeltaStats", "delta_simulate"]
 
 @dataclass
 class DeltaStats:
-    """Work accounting for the delta algorithm (drives Table 4's speedups)."""
+    """Work accounting for the incremental algorithms (drives Table 4).
+
+    Shared by the cut-time delta algorithm and the change-propagation
+    engine (:mod:`repro.sim.propagate`): both count every repaired task
+    in ``tasks_resimulated``, so ``resim_fraction`` compares the two
+    directly.  ``propagated_tasks``/``branch_skips`` are only written by
+    the propagation engine; ``guard_fallbacks`` counts its cascade-guard
+    handoffs to the cut-time algorithm (``fallbacks`` counts authoritative
+    full re-simulations, from either algorithm's defensive paths).
+    """
 
     invocations: int = 0
     fallbacks: int = 0
     tasks_resimulated: int = 0
     tasks_total: int = 0
+    propagated_tasks: int = 0  # tasks whose times a propagation pass recomputed
+    branch_skips: int = 0  # propagation pops whose triple was unchanged
+    guard_fallbacks: int = 0  # cascade-guard handoffs to the cut-time algorithm
 
     @property
     def resim_fraction(self) -> float:
         return self.tasks_resimulated / self.tasks_total if self.tasks_total else 0.0
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of invocations that abandoned the incremental path."""
+        if not self.invocations:
+            return 0.0
+        return (self.fallbacks + self.guard_fallbacks) / self.invocations
 
 
 def _fallback(tg: TaskGraph, tl: Timeline, stats: DeltaStats | None) -> Timeline:
@@ -90,7 +125,10 @@ def delta_simulate(
     if stats is not None:
         stats.invocations += 1
         stats.tasks_total += len(tg.tasks)
-    tasks = tg.tasks
+    arr = tg.arrays
+    exe, dev, rank, tids, ckeys = arr.exe, arr.dev, arr.rank, arr.tid, arr.ckey
+    all_ins, all_outs = arr.ins, arr.outs
+    slot_of = arr.slot_of
     ready, start, end = tl.ready, tl.start, tl.end
     order = tl.device_order
 
@@ -101,19 +139,19 @@ def delta_simulate(
     # their execution time.
     est_cache: dict[int, float] = {}
 
-    def ready_lb(tid: int) -> float:
-        cached = est_cache.get(tid)
+    def ready_lb(slot: int) -> float:
+        cached = est_cache.get(slot)
         if cached is not None:
             return cached
-        est_cache[tid] = 0.0  # break cycles defensively; DAG in practice
+        est_cache[slot] = 0.0  # break cycles defensively; DAG in practice
         best = 0.0
-        for p in tasks[tid].ins:
-            pe = end.get(p)
+        for p in all_ins[slot]:
+            pe = end.get(tids[p])
             if pe is None:
-                pe = ready_lb(p) + tasks[p].exe_time
+                pe = ready_lb(p) + exe[p]
             if pe > best:
                 best = pe
-        est_cache[tid] = best
+        est_cache[slot] = best
         return best
 
     t_cut = float("inf")
@@ -122,9 +160,10 @@ def delta_simulate(
         if r is not None and r < t_cut:
             t_cut = r
     for tid in dirty:
-        if tid not in tasks:
+        slot = slot_of.get(tid)
+        if slot is None:
             continue
-        est = ready_lb(tid)
+        est = ready_lb(slot)
         if est < t_cut:
             t_cut = est
 
@@ -136,8 +175,10 @@ def delta_simulate(
         end.pop(tid, None)
 
     if t_cut == float("inf"):
-        # Nothing structural changed.
-        tl.recompute_makespan()
+        # Nothing structural changed: no removed task had a timeline entry
+        # and no seed survived, so every end time -- and with them the
+        # running makespan the timeline already holds -- is untouched.
+        # (This used to rescan all end times per no-op proposal.)
         return tl
 
     # ---- partition into fixed prefix and suffix ---------------------------
@@ -147,73 +188,75 @@ def delta_simulate(
     suffix: list[int] = []
     dev_last_end: dict[int, float] = {}
     makespan = 0.0
-    for dev, lst in order.items():
+    for d, lst in order.items():
         cut_idx = bisect_left(lst, (t_cut,))
         for entry in lst[cut_idx:]:
             tid = entry[-1]
-            if tid in tasks:  # truncated entries of *removed* tasks just vanish
+            if tid in slot_of:  # truncated entries of *removed* tasks just vanish
                 suffix.append(tid)
         del lst[cut_idx:]
         if lst:
             last = end[lst[-1][-1]]
-            dev_last_end[dev] = last
+            dev_last_end[d] = last
             if last > makespan:
                 makespan = last
     for tid in dirty:
-        if tid in tasks and tid not in ready:
+        if tid in slot_of and tid not in ready:
             suffix.append(tid)
     if stats is not None:
         stats.tasks_resimulated += len(suffix)
-    suffix_set = set(suffix)
+    suffix_slots = {slot_of[tid] for tid in suffix}
 
     # ---- Algorithm 1 over the suffix ----------------------------------------
-    heap: list[tuple[float, tuple[int, ...], int]] = []
+    heap: list[tuple[float, int, int]] = []
     indeg: dict[int, int] = {}
     sready: dict[int, float] = {}
-    for tid in suffix:
-        t = tasks[tid]
+    for slot in suffix_slots:
         n = 0
         est = 0.0
-        for p in t.ins:
-            if p in suffix_set:
+        for p in all_ins[slot]:
+            if p in suffix_slots:
                 n += 1
             else:
-                pe = end[p]  # fixed predecessor: final value
+                pe = end[tids[p]]  # fixed predecessor: final value
                 if pe > est:
                     est = pe
-        indeg[tid] = n
-        sready[tid] = est
+        indeg[slot] = n
+        sready[slot] = est
         if n == 0:
-            heap.append((est, t.ckey, tid))
+            heap.append((est, rank[slot], slot))
     heapq.heapify(heap)
 
     scheduled = 0
     while heap:
-        r, ck, tid = heapq.heappop(heap)
+        r, _, slot = heapq.heappop(heap)
         if r < t_cut:
             # Defensive: contradicts the prefix-safety invariant.
             return _fallback(tg, tl, stats)
-        t = tasks[tid]
-        s = max(r, dev_last_end.get(t.device, 0.0))
-        e = s + t.exe_time
+        tid = tids[slot]
+        d = dev[slot]
+        s = dev_last_end.get(d, 0.0)
+        if r > s:
+            s = r
+        e = s + exe[slot]
         ready[tid] = r
         start[tid] = s
         end[tid] = e
-        dev_last_end[t.device] = e
+        dev_last_end[d] = e
         if e > makespan:
             makespan = e
-        order.setdefault(t.device, []).append((r, ck, tid))
+        order.setdefault(d, []).append((r, ckeys[slot], tid))
         scheduled += 1
-        for nxt in t.outs:
-            if nxt not in suffix_set:
+        for nxt in all_outs[slot]:
+            if nxt not in suffix_slots:
                 continue
             if e > sready[nxt]:
                 sready[nxt] = e
             indeg[nxt] -= 1
             if indeg[nxt] == 0:
-                heapq.heappush(heap, (sready[nxt], tasks[nxt].ckey, nxt))
+                heapq.heappush(heap, (sready[nxt], rank[nxt], nxt))
 
-    if scheduled != len(suffix):
+    if scheduled != len(suffix_slots):
         # A dependency cycle or bookkeeping drift: re-run authoritatively.
         return _fallback(tg, tl, stats)
 

@@ -22,7 +22,7 @@ cross-worker reproducibility of parallel search
 from __future__ import annotations
 
 import heapq
-from bisect import insort
+import sys
 
 from repro.sim.taskgraph import TaskGraph
 
@@ -104,18 +104,36 @@ class Timeline:
 def full_simulate(tg: TaskGraph) -> Timeline:
     """Simulate the task graph from scratch; returns the full timeline.
 
+    The sweep runs on the flat :class:`~repro.sim.arrays.TaskArrays`
+    substrate: per-slot state lives in dense lists, the heap orders by
+    interned ckey *rank* (bit-identical pop order, integer comparisons),
+    and per-device execution orders are built by plain ``append`` -- heap
+    pops arrive in globally nondecreasing ``(readyTime, ckey)`` order
+    (a dequeued task schedules successors at ``readyTime >= its own
+    endTime >= its own readyTime``), so each device's subsequence is
+    already sorted and the former per-pop ``insort`` was always an
+    append.  Sortedness is asserted under pytest only.
+
     Raises ``RuntimeError`` if the task graph contains a dependency cycle
     (which would indicate a construction bug, not a user error).
     """
     tl = Timeline()
-    tasks = tg.tasks
-    indeg: dict[int, int] = {}
-    heap: list[tuple[float, tuple[int, ...], int]] = []
-    for tid, t in tasks.items():
-        indeg[tid] = len(t.ins)
-        if not t.ins:
-            tl.ready[tid] = 0.0
-            heap.append((0.0, t.ckey, tid))
+    arr = tg.arrays
+    exe, dev, rank, tids, ckeys = arr.exe, arr.dev, arr.rank, arr.tid, arr.ckey
+    all_ins, all_outs = arr.ins, arr.outs
+    num_slots = len(tids)
+    total = arr.num_live
+
+    indeg = [0] * num_slots
+    slot_ready = [0.0] * num_slots
+    heap: list[tuple[float, int, int]] = []
+    for slot in range(num_slots):
+        if tids[slot] == -1:
+            continue
+        n = len(all_ins[slot])
+        indeg[slot] = n
+        if n == 0:
+            heap.append((0.0, rank[slot], slot))
     heapq.heapify(heap)
 
     dev_last_end: dict[int, float] = {}
@@ -124,28 +142,40 @@ def full_simulate(tg: TaskGraph) -> Timeline:
     start = tl.start
     end = tl.end
     order = tl.device_order
+    check_sorted = "pytest" in sys.modules
     while heap:
-        r, ck, tid = heapq.heappop(heap)
-        t = tasks[tid]
-        s = max(r, dev_last_end.get(t.device, 0.0))
-        e = s + t.exe_time
+        r, _, slot = heapq.heappop(heap)
+        tid = tids[slot]
+        d = dev[slot]
+        s = dev_last_end.get(d, 0.0)
+        if r > s:
+            s = r
+        e = s + exe[slot]
+        ready[tid] = r
         start[tid] = s
         end[tid] = e
-        dev_last_end[t.device] = e
-        insort(order.setdefault(t.device, []), (r, ck, tid))
+        dev_last_end[d] = e
+        entry = (r, ckeys[slot], tid)
+        lst = order.get(d)
+        if lst is None:
+            order[d] = [entry]
+        else:
+            if check_sorted:
+                assert lst[-1] <= entry, (
+                    f"device {d} execution order regressed: {lst[-1]} > {entry}"
+                )
+            lst.append(entry)
         scheduled += 1
-        for nxt in t.outs:
-            nr = ready.get(nxt, 0.0)
-            if e > nr:
-                nr = e
-            ready[nxt] = nr
+        for nxt in all_outs[slot]:
+            if e > slot_ready[nxt]:
+                slot_ready[nxt] = e
             indeg[nxt] -= 1
             if indeg[nxt] == 0:
-                heapq.heappush(heap, (nr, tasks[nxt].ckey, nxt))
+                heapq.heappush(heap, (slot_ready[nxt], rank[nxt], nxt))
 
-    if scheduled != len(tasks):
+    if scheduled != total:
         raise RuntimeError(
-            f"task graph has a cycle: scheduled {scheduled} of {len(tasks)} tasks"
+            f"task graph has a cycle: scheduled {scheduled} of {total} tasks"
         )
     tl.recompute_makespan()
     return tl

@@ -53,19 +53,34 @@ class IterationMetrics:
 
 
 def compute_metrics(tg: TaskGraph, tl: Timeline) -> IterationMetrics:
-    """Collect iteration metrics from a task graph and its timeline."""
+    """Collect iteration metrics from a task graph and its timeline.
+
+    Aggregates over the flat :class:`~repro.sim.arrays.TaskArrays`
+    columns; the ``Task`` objects are only consulted for COMM tasks'
+    connection labels (the one property the arrays do not mirror).
+    """
     comm_bytes = 0.0
     compute_us = 0.0
     by_label: dict[str, float] = {}
     busy: dict[int, float] = {}
-    for t in tg.tasks.values():
-        if t.kind == TaskKind.COMM:
-            comm_bytes += t.nbytes
-            label = t.conn.label if t.conn is not None else "?"
-            by_label[label] = by_label.get(label, 0.0) + t.nbytes
+    arr = tg.arrays
+    exe, dev, kinds, nbytes, tids = arr.exe, arr.dev, arr.kind, arr.nbytes, arr.tid
+    comm = int(TaskKind.COMM)
+    for slot in range(len(tids)):
+        tid = tids[slot]
+        if tid == -1:
+            continue
+        if kinds[slot] == comm:
+            nb = nbytes[slot]
+            comm_bytes += nb
+            conn = tg.tasks[tid].conn
+            label = conn.label if conn is not None else "?"
+            by_label[label] = by_label.get(label, 0.0) + nb
         else:
-            compute_us += t.exe_time
-            busy[t.device] = busy.get(t.device, 0.0) + t.exe_time
+            e = exe[slot]
+            compute_us += e
+            d = dev[slot]
+            busy[d] = busy.get(d, 0.0) + e
     return IterationMetrics(
         makespan_us=tl.makespan,
         total_comm_bytes=comm_bytes,

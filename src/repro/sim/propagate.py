@@ -1,0 +1,451 @@
+"""Change-propagation simulation: the paper's delta algorithm, for real.
+
+Algorithm 2 of the paper does not re-simulate a *time range* -- it
+propagates *individual task updates*: after ``UpdateTaskGraph``, the
+tasks whose inputs changed enter a priority queue, each dequeue
+recomputes one task's ``(readyTime, startTime, endTime)`` against the
+current state of its predecessors and its per-device execution chain
+(the ``preTask``/``nextTask`` properties of Table 2), and -- crucially --
+**propagation stops the moment a recomputed triple equals its old
+value**, so parallel branches a change cannot reach are never touched.
+The cut-time variant in :mod:`repro.sim.delta_sim` forfeits exactly this
+property: it conservatively re-simulates every task ordered after the
+earliest change.  This module restores it.
+
+State and substrate
+-------------------
+The per-device execution chains already exist:
+``Timeline.device_order[d]`` is the ``(readyTime, ckey, tid)``-sorted
+execution order of device ``d`` -- FIFO-by-ready-time scheduling with
+deterministic tie-breaking makes "sorted" and "execution order" the same
+thing, so an entry's list neighbors *are* its ``preTask``/``nextTask``.
+Keeping the chains on the timeline means the MCMC speculative path
+(snapshot on propose, restore on revert) versions the propagation state
+for free.  Static task properties and adjacency are read from the flat
+:class:`~repro.sim.arrays.TaskArrays` substrate; the queue orders by
+interned ckey *rank*, which preserves the reference tie-break order.
+
+Convergence and exactness
+-------------------------
+A dequeued task whose data predecessors are all *settled* is recomputed
+from their final values; one that still has an unsettled predecessor is
+parked in that predecessor's waiter list and re-enqueued by its settle
+(changed or not) -- the same dependency gating that makes the reference
+sweeps process each task exactly once, applied only to the affected
+region.  Whenever a settle actually changes a task's end time or chain
+position, every downstream reader of that value (data successors; the
+old and new ``nextTask``) is re-enqueued.  The process therefore only
+terminates when every task satisfies the scheduling equations
+
+.. code-block:: text
+
+    ready[t] = max(end[p] for p in ins(t))
+    start[t] = max(ready[t], end[preTask(t)])
+    end[t]   = start[t] + exe[t]
+
+with the chains sorted by ``(ready, ckey)`` -- the exact fixed point the
+full algorithm computes, via the same float operations, so the result is
+*bit-identical* to :func:`~repro.sim.full_sim.full_simulate` (enforced
+at ``tol=0`` by the property suite in ``tests/sim``).  The one input the
+gate does not cover is the chain predecessor (its identity depends on
+the very ready times being repaired); a settle against a stale chain
+neighbor is corrected by that neighbor's own settle re-opening it, which
+keeps the device-local corrections bounded.
+
+Cascade guard
+-------------
+Change propagation is opportunistic: a mutation near the timeline root
+of a serial graph legitimately touches almost everything, and the
+priority queue's constant factor then loses to the simple sweeps.  Two
+guards bound the worst case to (a constant factor of) today's cost:
+*pre-flight*, a changed-set lower bound (the splice's seed set) already
+exceeding ``guard_frac`` of all tasks hands the still-pristine timeline
+straight to the cut-time algorithm -- which by then costs the same and
+carries a smaller constant; *mid-flight*, a queue that fails to drain
+within a generous per-task pop budget (or any chain-bookkeeping drift)
+abandons the partially-repaired timeline to an authoritative full
+re-simulation.  Both trips are counted
+(:attr:`~repro.sim.delta_sim.DeltaStats.guard_fallbacks` and
+:attr:`~repro.sim.delta_sim.DeltaStats.fallbacks`); the
+``bench_delta_propagation`` benchmark gates on a zero fallback rate for
+the smoke model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+
+from repro.sim.delta_sim import DeltaStats, _fallback, delta_simulate
+from repro.sim.full_sim import Timeline
+from repro.sim.taskgraph import TaskGraph
+
+__all__ = ["DEFAULT_GUARD_FRAC", "propagate_simulate"]
+
+# Cascade-guard default: hand off once the changed set passes this
+# fraction of all tasks.  Conservative enough that real proposals on
+# paper-scale graphs never trip it (the benchmark asserts so), small
+# enough that a degenerate cascade costs at most ~1.5x a plain delta.
+DEFAULT_GUARD_FRAC = 0.5
+
+# Queue-drain insurance: the fixed point is reached after each task
+# settles a handful of times at most; a queue still busy after this many
+# pops per task indicates bookkeeping drift, not a hard graph.
+_POP_SAFETY_FACTOR = 16
+
+
+def _locate(lst: list, r: float, tid: int) -> int:
+    """Index of ``(r, *, tid)`` in a sorted device chain; -1 if absent."""
+    idx = bisect_left(lst, (r,))
+    n = len(lst)
+    while idx < n:
+        entry = lst[idx]
+        if entry[0] != r:
+            return -1
+        if entry[2] == tid:
+            return idx
+        idx += 1
+    return -1
+
+
+def _give_up(tg: TaskGraph, tl: Timeline, stats: DeltaStats | None) -> Timeline:
+    """Mid-flight abort: the timeline is partially repaired, so only a
+    full re-simulation is authoritative."""
+    if stats is not None:
+        stats.tasks_resimulated += len(tg.tasks)
+    return _fallback(tg, tl, stats)
+
+
+def propagate_simulate(
+    tg: TaskGraph,
+    tl: Timeline,
+    removed: dict[int, int],
+    dirty: set[int],
+    stats: DeltaStats | None = None,
+    *,
+    guard_frac: float = DEFAULT_GUARD_FRAC,
+) -> Timeline:
+    """Repair ``tl`` in place by propagating only actual changes.
+
+    Same contract as :func:`~repro.sim.delta_sim.delta_simulate`
+    (``removed``/``dirty`` from :meth:`TaskGraph.replace_config`), same
+    resulting timeline -- bit-identical to both reference algorithms --
+    but the work done is proportional to the tasks whose times actually
+    move, not to the time range after the earliest change.
+    """
+    total = len(tg.tasks)
+    if stats is not None:
+        stats.invocations += 1
+        stats.tasks_total += total
+
+    # ---- cascade guard, pre-flight ---------------------------------------
+    # The seed set is a lower bound on the changed set; when it is already
+    # a large fraction of the graph, the cut-time sweep's lower constant
+    # factor wins and the timeline is still pristine enough to hand over.
+    if len(dirty) + len(removed) >= max(1.0, guard_frac * total):
+        scratch = DeltaStats()
+        delta_simulate(tg, tl, removed, dirty, scratch)
+        if stats is not None:
+            stats.guard_fallbacks += 1
+            stats.tasks_resimulated += scratch.tasks_resimulated
+            stats.fallbacks += scratch.fallbacks
+        return tl
+
+    arr = tg.arrays
+    exe, dev, rank, tids, ckeys = arr.exe, arr.dev, arr.rank, arr.tid, arr.ckey
+    all_ins, all_outs = arr.ins, arr.outs
+    slot_of = arr.slot_of
+    ready, start, end = tl.ready, tl.start, tl.end
+    order = tl.device_order
+
+    heap: list[tuple[float, int, int]] = []  # (time key, ckey rank, slot)
+    scheduled: set[int] = set()  # slots with a live heap entry
+    unsettled: set[int] = set()  # slots whose timeline value is not final
+    waiters: dict[int, list[int]] = {}  # pred slot -> slots parked on its settle
+    detached: set[int] = set()  # slots whose (stale) chain entry was pulled
+
+    def schedule(slot: int, key: float) -> None:
+        # Clamp the key to the task's *current* chain-entry time: the task
+        # must be visited no later than its old position, so its stale
+        # entry is detached before any later finalize could read it as a
+        # chain predecessor (the cut-time algorithm's prefix-safety
+        # argument, applied per entry).
+        unsettled.add(slot)
+        if slot not in scheduled:
+            if slot not in detached:
+                old = ready.get(tids[slot])
+                if old is not None and old < key:
+                    key = old
+            scheduled.add(slot)
+            heapq.heappush(heap, (key, rank[slot], slot))
+
+    def park(slot: int, gate: int) -> None:
+        waiters.setdefault(gate, []).append(slot)
+
+    def detach(slot: int, tid: int) -> bool:
+        """Pull the task's old chain entry (keeping its timeline values)
+        and seed the follower whose preTask just changed.  Idempotent;
+        ``False`` signals chain/timeline drift."""
+        if slot in detached:
+            return True
+        old = ready.get(tid)
+        if old is None:
+            detached.add(slot)  # new task: no entry to pull
+            return True
+        lst = order.get(dev[slot])
+        idx = _locate(lst, old, tid) if lst is not None else -1
+        if idx < 0:
+            return False
+        del lst[idx]
+        detached.add(slot)
+        if idx < len(lst):
+            succ_slot = slot_of.get(lst[idx][2])
+            if succ_slot is not None:
+                schedule(succ_slot, lst[idx][0])
+        return True
+
+    # ---- detach removed tasks --------------------------------------------
+    # Dropping a chain entry changes exactly one other task's preTask: the
+    # entry that follows it.  Seed that survivor (removed followers are
+    # filtered out -- their slots are already freed).
+    for tid, d in removed.items():
+        r = ready.pop(tid, None)
+        start.pop(tid, None)
+        end.pop(tid, None)
+        if r is None:
+            continue
+        lst = order.get(d)
+        idx = _locate(lst, r, tid) if lst is not None else -1
+        if idx < 0:
+            return _give_up(tg, tl, stats)  # chain/timeline drift
+        del lst[idx]
+        if idx < len(lst):
+            succ_slot = slot_of.get(lst[idx][2])
+            if succ_slot is not None:
+                schedule(succ_slot, lst[idx][0])
+
+    # ---- seed the dirty set ----------------------------------------------
+    # Survivors enter at their current ready time.  New tasks enter once
+    # every predecessor has an end time; one with a still-unended
+    # (necessarily new, necessarily dirty) predecessor only becomes
+    # *unsettled* here -- that predecessor's own first settle re-enqueues
+    # it through the data-successor push below.
+    for tid in dirty:
+        slot = slot_of.get(tid)
+        if slot is None:
+            continue
+        r0 = ready.get(tid)
+        if r0 is None:
+            r0 = 0.0
+            for p in all_ins[slot]:
+                pe = end.get(tids[p])
+                if pe is None:
+                    r0 = None
+                    break
+                if pe > r0:
+                    r0 = pe
+            if r0 is None:
+                unsettled.add(slot)
+                continue
+        schedule(slot, r0)
+
+    # ---- propagate --------------------------------------------------------
+    # The gate discipline can transiently deadlock: parking follows the
+    # *stale* device order (two entries whose ready times crossed may each
+    # sort before the other's target position) and the implicit new-task
+    # waits are invisible to it.  Rather than detecting cycles, the loop
+    # runs in rounds: when the queue drains with tasks still unsettled, a
+    # *force round* releases every parked task and lets it settle against
+    # stale-but-readable inputs -- any wrong value written is repaired by
+    # the writer of its input re-opening it, so the fixed point (and bit
+    # identity) is unaffected.  A force round that settles nothing means a
+    # genuine cycle: give up to the full algorithm.
+    recomputed: set[int] = set()
+    skips = 0
+    pops = 0
+    settles = 0
+    pop_budget = _POP_SAFETY_FACTOR * total + 64
+    force = False
+    while True:
+        while heap:
+            k, _, slot = heapq.heappop(heap)
+            scheduled.discard(slot)
+            pops += 1
+            if pops > pop_budget:
+                return _give_up(tg, tl, stats)
+            tid = tids[slot]
+
+            # Data gate: settle only against settled predecessors; a
+            # pending one parks this task in its waiter list, and every
+            # settle (changed or skipped) releases its waiters.  A pred
+            # whose value does not exist yet (a new task) must park even
+            # in a force round.
+            r = 0.0
+            gate = -1
+            for p in all_ins[slot]:
+                pe = end.get(tids[p])
+                if pe is None:
+                    # No value to read at all (a new task): gates even in
+                    # a force round.
+                    gate = p
+                    break
+                if pe > r:
+                    r = pe
+                if gate < 0 and not force and p in unsettled:
+                    gate = p
+            if gate >= 0:
+                # Parked for an unknown time: pull our stale entry first
+                # so the wait cannot leak it into someone's preTask.
+                if not detach(slot, tid):
+                    return _give_up(tg, tl, stats)
+                park(slot, gate)
+                continue
+            if r > k:
+                # Inputs settled later than this entry's key; reprocess
+                # in correct global time order (lazy re-push) -- after
+                # pulling the entry if the task is provably moving later.
+                old = ready.get(tid)
+                if old is not None and slot not in detached and r > old:
+                    if not detach(slot, tid):
+                        return _give_up(tg, tl, stats)
+                scheduled.add(slot)
+                heapq.heappush(heap, (r, rank[slot], slot))
+                continue
+
+            d = dev[slot]
+            lst = order.get(d)
+            if lst is None:
+                lst = order[d] = []
+            old_r = ready.get(tid)
+            old_s = start.get(tid)
+            old_e = end.get(tid)
+            entry = (r, ckeys[slot], tid)
+
+            oidx = -1
+            if old_r is not None and slot not in detached:
+                oidx = _locate(lst, old_r, tid)
+                if oidx < 0:
+                    return _give_up(tg, tl, stats)
+
+            # Chain gate: the would-be preTask at the target position.
+            # An unsettled chain predecessor parks this task exactly like
+            # an unsettled data predecessor -- settling against its stale
+            # end would ripple a whole device chain of wrong values.
+            # (Computed without mutating the chain, so parking leaves no
+            # trace beyond the detach.)
+            if not force:
+                j = bisect_left(lst, entry)
+                pre_idx = j - 1
+                if pre_idx == oidx and pre_idx >= 0:
+                    pre_idx -= 1  # skip our own old entry
+                if pre_idx >= 0:
+                    pre_slot = slot_of.get(lst[pre_idx][2])
+                    if pre_slot is not None and pre_slot in unsettled:
+                        if not detach(slot, tid):
+                            return _give_up(tg, tl, stats)
+                        park(slot, pre_slot)
+                        continue
+
+            # Repair the chain position; remember both affected nextTasks.
+            # (A follower vacated by an earlier detach was seeded then.)
+            old_succ_tid = None
+            if oidx >= 0:
+                if old_r == r:
+                    idx = oidx
+                    pos_changed = False
+                else:
+                    if oidx + 1 < len(lst):
+                        old_succ_tid = lst[oidx + 1][2]
+                    del lst[oidx]
+                    idx = bisect_left(lst, entry)
+                    lst.insert(idx, entry)
+                    pos_changed = True
+            else:
+                idx = bisect_left(lst, entry)
+                lst.insert(idx, entry)
+                pos_changed = slot in detached or old_r is None
+            detached.discard(slot)
+
+            # startTime from the chain predecessor, endTime from exe.
+            s = end[lst[idx - 1][2]] if idx > 0 else 0.0
+            if r > s:
+                s = r
+            e = s + exe[slot]
+
+            settles += 1
+            unsettled.discard(slot)
+            parked = waiters.pop(slot, None)
+            if parked is not None:
+                for w in parked:
+                    schedule(w, e)
+
+            if old_r == r and old_s == s and old_e == e:
+                # Branch termination (Section 5.3): the triple is
+                # unchanged, so no *value* anyone reads moved.  One
+                # structural caveat: a task that was detached earlier and
+                # just re-entered the chain may have displaced another
+                # entry's preTask -- that follower must re-derive its
+                # start even though our numbers are the same.
+                if pos_changed and idx + 1 < len(lst):
+                    succ_tid = lst[idx + 1][2]
+                    if succ_tid != tid:
+                        sslot = slot_of.get(succ_tid)
+                        if sslot is not None:
+                            schedule(sslot, ready.get(succ_tid, e))
+                skips += 1
+                continue
+
+            ready[tid] = r
+            start[tid] = s
+            end[tid] = e
+            recomputed.add(slot)
+
+            if old_e != e:
+                # Data successors read our end time through their ready
+                # max.  Our new end is a lower bound on their new ready:
+                # a valid (and tight) queue key.
+                for nxt in all_outs[slot]:
+                    schedule(nxt, e)
+            if pos_changed or old_e != e:
+                # Both chain followers -- at the vacated position and at
+                # the new one -- now read a different preTask end.
+                new_succ_tid = lst[idx + 1][2] if idx + 1 < len(lst) else None
+                if old_succ_tid == new_succ_tid:
+                    old_succ_tid = None
+                for stid in (old_succ_tid, new_succ_tid):
+                    if stid is not None and stid != tid:
+                        sslot = slot_of.get(stid)
+                        if sslot is not None:
+                            schedule(sslot, ready.get(stid, e))
+
+        if not unsettled:
+            break
+        if force and not settles:
+            # A full force round settled nothing: a genuine dependency
+            # cycle (construction bug), not transient staleness.
+            return _give_up(tg, tl, stats)
+        force = True
+        settles = 0
+        released = [w for parked in waiters.values() for w in parked]
+        waiters.clear()
+        for w in released:
+            schedule(w, ready.get(tids[w], 0.0))
+        # Unsettled tasks that are neither parked nor scheduled are new
+        # tasks waiting on an unreadable predecessor's first settle; that
+        # predecessor is in `released` (or downstream of it), so they
+        # need no push here.
+
+    if stats is not None:
+        stats.propagated_tasks += len(recomputed)
+        stats.branch_skips += skips
+        stats.tasks_resimulated += len(recomputed)
+
+    # Makespan from the chain tails: O(#devices), not O(#tasks).
+    makespan = 0.0
+    for lst in order.values():
+        if lst:
+            e = end[lst[-1][2]]
+            if e > makespan:
+                makespan = e
+    tl.makespan = makespan
+    return tl

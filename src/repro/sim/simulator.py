@@ -1,12 +1,22 @@
 """Simulator facade: a task graph plus its live timeline.
 
 Bundles the pieces the execution optimizer needs: build once, then
-:meth:`Simulator.reconfigure` one operation at a time.  With
-``algorithm="delta"`` reconfiguration repairs the timeline incrementally
-(Algorithm 2); with ``algorithm="full"`` it re-simulates from scratch
-(Algorithm 1) after the same incremental task-graph update -- matching
-how the paper isolates the two simulation algorithms in Table 4 and
-Figure 12.
+:meth:`Simulator.reconfigure` one operation at a time.  Three timeline
+algorithms share the same incremental task-graph update:
+
+``"delta"`` (default)
+    the cut-time incremental repair (Algorithm 2, conservative variant);
+``"propagate"``
+    true change propagation (:mod:`repro.sim.propagate`): walks only
+    actually-changed tasks, skips unaffected parallel branches, and
+    falls back behind a cascade guard (``propagate_guard_frac``) to the
+    cut-time algorithm (pre-flight) or a full re-simulation (mid-flight);
+``"full"``
+    re-simulate from scratch (Algorithm 1) -- how the paper isolates the
+    simulation algorithms in Table 4 and Figure 12.
+
+All three produce bit-identical timelines for every reachable state
+(property-tested at ``tol=0``), so the choice is pure throughput.
 """
 
 from __future__ import annotations
@@ -17,11 +27,15 @@ from repro.profiler.profiler import OpProfiler
 from repro.sim.delta_sim import DeltaStats, delta_simulate
 from repro.sim.full_sim import Timeline, full_simulate
 from repro.sim.metrics import IterationMetrics, compute_metrics
+from repro.sim.propagate import DEFAULT_GUARD_FRAC, propagate_simulate
 from repro.sim.taskgraph import TaskGraph
 from repro.soap.config import ParallelConfig
 from repro.soap.strategy import Strategy
 
-__all__ = ["Simulator", "simulate_strategy"]
+__all__ = ["ALGORITHMS", "Simulator", "simulate_strategy"]
+
+#: The valid ``algorithm=`` names, in "most incremental first" order.
+ALGORITHMS = ("propagate", "delta", "full")
 
 
 class Simulator:
@@ -36,13 +50,17 @@ class Simulator:
         training: bool = True,
         algorithm: str = "delta",
         pool_snapshots: bool = True,
+        propagate_guard_frac: float = DEFAULT_GUARD_FRAC,
     ):
-        if algorithm not in ("delta", "full"):
-            raise ValueError(f"unknown simulation algorithm {algorithm!r}")
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown simulation algorithm {algorithm!r}; valid: {ALGORITHMS}"
+            )
         self.graph = graph
         self.topology = topology
         self.profiler = profiler or OpProfiler()
         self.algorithm = algorithm
+        self.propagate_guard_frac = propagate_guard_frac
         self.task_graph = TaskGraph(graph, topology, strategy, self.profiler, training=training)
         self.timeline: Timeline = full_simulate(self.task_graph)
         self.delta_stats = DeltaStats()
@@ -66,13 +84,31 @@ class Simulator:
     def strategy(self) -> Strategy:
         return self.task_graph.strategy
 
+    def _repair(self, removed: dict[int, int], dirty: set[int]) -> None:
+        """Bring the timeline up to date after a task-graph splice."""
+        if self.algorithm == "delta":
+            delta_simulate(self.task_graph, self.timeline, removed, dirty, self.delta_stats)
+        elif self.algorithm == "propagate":
+            propagate_simulate(
+                self.task_graph,
+                self.timeline,
+                removed,
+                dirty,
+                self.delta_stats,
+                guard_frac=self.propagate_guard_frac,
+            )
+        else:
+            self.timeline = full_simulate(self.task_graph)
+
+    @property
+    def _incremental(self) -> bool:
+        """Whether the algorithm repairs the timeline in place."""
+        return self.algorithm != "full"
+
     def reconfigure(self, op_id: int, cfg: ParallelConfig) -> float:
         """Apply one configuration change; returns the new cost (us)."""
         removed, dirty = self.task_graph.replace_config(op_id, cfg)
-        if self.algorithm == "delta":
-            delta_simulate(self.task_graph, self.timeline, removed, dirty, self.delta_stats)
-        else:
-            self.timeline = full_simulate(self.task_graph)
+        self._repair(removed, dirty)
         return self.timeline.makespan
 
     # -- speculative reconfiguration ---------------------------------------
@@ -86,11 +122,12 @@ class Simulator:
         """
         if self._pending is not None:
             raise RuntimeError("previous proposal not resolved (commit or revert first)")
-        # The delta algorithm repairs the timeline in place, so reverting
-        # needs a copy; the full algorithm builds a fresh timeline and the
-        # old object can be kept as-is.  With pooling on, the copy reuses
-        # the scratch timeline recycled by the last commit/revert.
-        if self.algorithm == "delta":
+        # The incremental algorithms (delta, propagate) repair the timeline
+        # in place, so reverting needs a copy; the full algorithm builds a
+        # fresh timeline and the old object can be kept as-is.  With
+        # pooling on, the copy reuses the scratch timeline recycled by the
+        # last commit/revert.
+        if self._incremental:
             scratch, self._scratch = self._scratch, None
             saved = (
                 self.timeline.copy_into(scratch)
@@ -100,10 +137,7 @@ class Simulator:
         else:
             saved = self.timeline
         removed, dirty = self.task_graph.replace_config(op_id, cfg, keep_record=True)
-        if self.algorithm == "delta":
-            delta_simulate(self.task_graph, self.timeline, removed, dirty, self.delta_stats)
-        else:
-            self.timeline = full_simulate(self.task_graph)
+        self._repair(removed, dirty)
         self._pending = saved
         return self.timeline.makespan
 
@@ -111,7 +145,7 @@ class Simulator:
         """Adopt the pending proposal."""
         if self._pending is None:
             raise RuntimeError("no pending proposal to commit")
-        if self.algorithm == "delta" and self.pool_snapshots:
+        if self._incremental and self.pool_snapshots:
             # The unused snapshot becomes the next proposal's scratch.
             self._scratch = self._pending
         self._pending = None
@@ -121,7 +155,7 @@ class Simulator:
         if self._pending is None:
             raise RuntimeError("no pending proposal to revert")
         self.task_graph.undo_last_splice()
-        if self.algorithm == "delta" and self.pool_snapshots:
+        if self._incremental and self.pool_snapshots:
             # The discarded (repaired-in-place) timeline becomes scratch.
             self._scratch = self.timeline
         self.timeline = self._pending

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.ir.graph import Edge, OperatorGraph
 from repro.machine.topology import Connection, DeviceTopology
 from repro.profiler.profiler import OpProfiler
+from repro.sim.arrays import TaskArrays
 from repro.soap.partition import overlapping_tasks
 from repro.soap.strategy import Strategy
 
@@ -116,6 +117,10 @@ class TaskGraph:
         self.training = training
 
         self.tasks: dict[int, Task] = {}
+        # Flat struct-of-arrays mirror the simulators' hot loops read
+        # (exe/device/rank columns, slot-indexed adjacency rows); kept in
+        # lockstep by _new_task/_link and the splice paths below.
+        self.arrays = TaskArrays()
         self._next_tid = 0
         self._last_splice: SpliceRecord | None = None
         # Bookkeeping for incremental splicing.  Parameter-sync tasks are
@@ -140,11 +145,13 @@ class TaskGraph:
         t = Task(tid=self._next_tid, **kw)
         self._next_tid += 1
         self.tasks[t.tid] = t
+        self.arrays.add(t.tid, t.exe_time, t.device, t.ckey, int(t.kind), t.nbytes)
         return t
 
     def _link(self, a: int, b: int) -> None:
         self.tasks[a].outs.append(b)
         self.tasks[b].ins.append(a)
+        self.arrays.link(a, b)
 
     @property
     def num_tasks(self) -> int:
@@ -401,6 +408,9 @@ class TaskGraph:
         removed: dict[int, int] = {tid: self.tasks[tid].device for tid in removed_ids}
         dirty: set[int] = set()
         for tid in removed_ids:
+            # Frees the slot and scrubs it from surviving neighbors' rows;
+            # the slots are recycled by the rebuild below.
+            self.arrays.discard(tid)
             t = self.tasks[tid]
             for p in t.ins:
                 if p not in removed_ids:
@@ -452,6 +462,7 @@ class TaskGraph:
 
         added: list[Task] = [self.tasks.pop(tid) for tid in range(rec.added_lo, rec.added_hi)]
         for t in added:
+            self.arrays.discard(t.tid)
             for p in t.ins:
                 surv = self.tasks.get(p)
                 if surv is not None:
@@ -464,13 +475,20 @@ class TaskGraph:
         removed_set = {t.tid for t in rec.removed_tasks}
         for t in rec.removed_tasks:
             self.tasks[t.tid] = t
+            self.arrays.add(t.tid, t.exe_time, t.device, t.ckey, int(t.kind), t.nbytes)
         for t in rec.removed_tasks:
+            # Each edge is re-recorded in the arrays exactly once: through
+            # the consumer's ins for every predecessor, plus the producer's
+            # outs only when the successor survived the splice (edges into
+            # removed successors reappear via that successor's own ins).
             for p in t.ins:
+                self.arrays.link(p, t.tid)
                 if p not in removed_set:
                     self.tasks[p].outs.append(t.tid)
             for s in t.outs:
                 if s not in removed_set:
                     self.tasks[s].ins.append(t.tid)
+                    self.arrays.link(t.tid, s)
 
         self.fwd.update(rec.fwd_lists)
         self.bwd.update(rec.bwd_lists)
@@ -484,11 +502,21 @@ class TaskGraph:
         return [t for t in self.tasks.values() if t.kind == TaskKind.COMM]
 
     def total_comm_bytes(self) -> float:
-        return sum(t.nbytes for t in self.tasks.values() if t.kind == TaskKind.COMM)
+        arr = self.arrays
+        comm = int(TaskKind.COMM)
+        return sum(
+            arr.nbytes[slot]
+            for slot in range(arr.num_slots)
+            if arr.tid[slot] != -1 and arr.kind[slot] == comm
+        )
 
     def total_compute_us(self) -> float:
+        arr = self.arrays
+        comm = int(TaskKind.COMM)
         return sum(
-            t.exe_time for t in self.tasks.values() if t.kind in (TaskKind.NORMAL, TaskKind.UPDATE)
+            arr.exe[slot]
+            for slot in range(arr.num_slots)
+            if arr.tid[slot] != -1 and arr.kind[slot] != comm
         )
 
     def describe(self) -> str:

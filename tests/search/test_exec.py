@@ -20,6 +20,7 @@ from repro.profiler.profiler import OpProfiler
 from repro.search.cache import strategy_fingerprint
 from repro.search.exec import (
     ChainSpec,
+    ClusterSpec,
     DistributedExecutor,
     ExecutionContext,
     available_executors,
@@ -135,6 +136,90 @@ class TestRegistry:
                 lenet_graph, topo2, make_specs(lenet_graph, topo2), OpProfiler(),
                 executor="distributed",
             )
+
+
+class TestClusterSpec:
+    def test_plain_entry_has_no_cap(self):
+        spec = ClusterSpec.parse("gpu-a:7070")
+        assert spec.address == "gpu-a:7070"
+        assert spec.cap is None
+        assert spec.effective_capacity(3) == 3
+
+    def test_star_suffix_caps_capacity(self):
+        spec = ClusterSpec.parse("gpu-a:7070*2")
+        assert spec.address == "gpu-a:7070"
+        assert spec.cap == 2
+        assert spec.effective_capacity(4) == 2
+        assert spec.effective_capacity(1) == 1  # announced wins when lower
+
+    @pytest.mark.parametrize("bad", ["gpu-a:7070*0", "gpu-a:7070*-1", "gpu-a:7070*x", "noport*2"])
+    def test_malformed_entries_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ClusterSpec.parse(bad)
+
+    def test_parse_cluster_accepts_caps(self):
+        from repro.search.exec import parse_cluster
+
+        assert parse_cluster("a:1,b:2*3") == ("a:1", "b:2*3")
+
+
+class TestAlgorithmSelection:
+    """algorithm="propagate" is result-neutral end to end (acceptance:
+    bit-identical to "full" for workers in {1, 4} across executors)."""
+
+    def test_planner_algorithms_bit_identical_workers1(self, lenet_graph, topo2):
+        planner = Planner(lenet_graph, topo2)
+        results = {}
+        for alg in ("full", "delta", "propagate"):
+            cfg = SearchConfig(budget=BudgetConfig(iterations=20), seed=3, algorithm=alg)
+            results[alg] = planner.search("mcmc", cfg)
+        base = results["full"]
+        for alg, res in results.items():
+            assert res.best_cost_us == base.best_cost_us, alg
+            assert res.best_strategy.signature() == base.best_strategy.signature(), alg
+            assert res.simulations == base.simulations, alg
+
+    def test_pool_propagate_matches_full_workers4(self, lenet_graph, topo2):
+        planner = Planner(lenet_graph, topo2)
+        cfg = SearchConfig(
+            budget=BudgetConfig(iterations=20),
+            seed=3,
+            execution=ExecutionConfig(workers=4, executor="pool"),
+        )
+        full = planner.search("mcmc", cfg.replace(algorithm="full"))
+        prop = planner.search("mcmc", cfg.replace(algorithm="propagate"))
+        assert prop.best_cost_us == full.best_cost_us
+        assert prop.best_strategy.signature() == full.best_strategy.signature()
+
+    def test_per_chain_algorithm_override(self, lenet_graph, topo2):
+        """MCMCConfig.algorithm pins one chain's simulator; results are
+        unchanged (result-neutral) while the context default differs."""
+        spec = ChainSpec(
+            "pinned",
+            data_parallelism(lenet_graph, topo2),
+            MCMCConfig(iterations=15, seed=5, algorithm="propagate"),
+        )
+        default = ChainSpec(
+            "default", data_parallelism(lenet_graph, topo2), MCMCConfig(iterations=15, seed=5)
+        )
+        res = run_chains(
+            lenet_graph, topo2, [spec, default], OpProfiler(), algorithm="full"
+        )
+        assert res[0].best_cost_us == res[1].best_cost_us
+        assert res[0].trace.costs == res[1].trace.costs
+
+    @pytest.mark.slow
+    def test_distributed_propagate_matches_inprocess(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=15)
+        ref = run_chains(
+            lenet_graph, topo2, specs, OpProfiler(), executor="inprocess", algorithm="propagate"
+        )
+        with _Workers(2, once=True) as w:
+            dist = run_chains(
+                lenet_graph, topo2, specs, OpProfiler(),
+                executor="distributed", cluster=w.cluster, algorithm="propagate",
+            )
+        assert chains_equal(ref, dist)
 
 
 class TestProtocol:
@@ -332,6 +417,61 @@ class TestDistributedExecutor:
                     lenet_graph, topo2, specs, OpProfiler(),
                     executor="distributed", cluster=(dead_addr, w.cluster[0]),
                 )
+        assert chains_equal(ref, dist)
+
+    def test_worker_capacity_runs_chains_concurrently(self, lenet_graph, topo2):
+        """One daemon with --capacity 3 accepts three in-flight chains and
+        the results stay bit-identical to the in-process run."""
+        specs = make_specs(lenet_graph, topo2, n=3, iterations=20)
+        ref = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        with _Workers(1, once=True, capacity=3) as w:
+            executor = DistributedExecutor()
+            ctx = ExecutionContext(
+                graph=lenet_graph, topology=topo2, profiler=OpProfiler(), cluster=w.cluster
+            )
+            dist = executor.run(ctx, specs)
+        assert executor.stats.total_capacity == 3
+        assert chains_equal(ref, dist)
+
+    def test_cluster_entry_cap_limits_announced_capacity(self, lenet_graph, topo2):
+        """A ``host:port*N`` cluster entry caps the in-flight chains below
+        what the daemon announces."""
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=10)
+        ref = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        with _Workers(1, once=True, capacity=4) as w:
+            executor = DistributedExecutor()
+            ctx = ExecutionContext(
+                graph=lenet_graph,
+                topology=topo2,
+                profiler=OpProfiler(),
+                cluster=(f"{w.cluster[0]}*1",),
+            )
+            dist = executor.run(ctx, specs)
+        assert executor.stats.total_capacity == 1
+        assert chains_equal(ref, dist)
+
+    def test_kill_capacity_worker_requeues_all_inflight_chains(self, lenet_graph, topo2):
+        """The capacity>1 fault path: a daemon killed with *two* chains in
+        flight re-queues both onto the survivor, results bit-identical."""
+        specs = make_specs(lenet_graph, topo2, n=3, iterations=25)
+        ref = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        with _Workers(1, once=True) as fast, _Workers(1, chain_delay_s=60.0, capacity=2) as slow:
+            # Dispatch spreads one chain per worker per pass: fast gets
+            # chain 0, the slow capacity-2 daemon ends up holding 1 and 2
+            # (and sleeps on them); killing it must re-queue both.
+            cluster = (fast.cluster[0], slow.cluster[0])
+            victim = slow.procs[0]
+            threading.Timer(1.5, victim.kill).start()
+            executor = DistributedExecutor()
+            ctx = ExecutionContext(
+                graph=lenet_graph,
+                topology=topo2,
+                profiler=OpProfiler(),
+                cluster=cluster,
+            )
+            dist = executor.run(ctx, specs)
+        assert executor.stats.workers_died >= 1
+        assert executor.stats.requeued_chains >= 2
         assert chains_equal(ref, dist)
 
     def test_early_stop_broadcast_skips_remote_chains(self, lenet_graph, topo2):

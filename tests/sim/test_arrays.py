@@ -1,0 +1,90 @@
+"""The flat struct-of-arrays substrate mirrors the task dict exactly."""
+
+import numpy as np
+
+from repro.machine.clusters import single_node
+from repro.models.lenet import lenet
+from repro.profiler.profiler import OpProfiler
+from repro.sim.arrays import TaskArrays
+from repro.sim.taskgraph import TaskGraph
+from repro.soap.presets import data_parallelism
+from repro.soap.space import ConfigSpace
+
+
+def churn(graph, topo, seed, steps):
+    tg = TaskGraph(graph, topo, data_parallelism(graph, topo), OpProfiler())
+    tg.arrays.check_consistent(tg.tasks)
+    space = ConfigSpace(graph, topo)
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        oid = int(rng.choice(graph.op_ids))
+        cfg = space.random_config(oid, rng)
+        if rng.random() < 0.5:
+            tg.replace_config(oid, cfg)
+        else:
+            tg.replace_config(oid, cfg, keep_record=True)
+            tg.undo_last_splice()
+        tg.arrays.check_consistent(tg.tasks)
+    return tg
+
+
+class TestMirror:
+    def test_consistent_after_construction(self, lenet_graph, topo4):
+        tg = TaskGraph(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        tg.arrays.check_consistent(tg.tasks)
+        assert tg.arrays.num_live == len(tg.tasks)
+
+    def test_consistent_under_splice_undo_churn(self, lenet_graph, topo4):
+        churn(lenet_graph, topo4, seed=0, steps=40)
+
+    def test_consistent_with_weight_sharing(self, tiny_rnn_graph, topo4):
+        churn(tiny_rnn_graph, topo4, seed=1, steps=25)
+
+    def test_slots_are_recycled_not_leaked(self, lenet_graph, topo4):
+        """Across many splices the slot table stays bounded by the peak
+        live-task count, not by the total tasks ever created."""
+        tg = churn(lenet_graph, topo4, seed=2, steps=60)
+        # Ids keep growing; slots don't.
+        assert tg._next_tid > tg.arrays.num_slots
+        assert tg.arrays.num_slots <= 2 * len(tg.tasks) + 64
+
+
+class TestInterner:
+    def test_rank_order_matches_ckey_order(self):
+        arr = TaskArrays()
+        keys = [(2, 1), (0, 5), (1, 0), (0, 1), (3,), (0, 5, 2)]
+        for k in keys:
+            arr.intern(k)
+        ranks = {k: arr.intern(k) for k in keys}
+        for a in keys:
+            for b in keys:
+                assert (ranks[a] < ranks[b]) == (a < b)
+
+    def test_mid_table_insert_refreshes_live_slots(self):
+        arr = TaskArrays()
+        arr.add(0, 1.0, 0, (5, 5))
+        arr.add(1, 1.0, 0, (9, 9))
+        # Interning a key between the two renumbers the tail...
+        arr.intern((7, 7))
+        s0, s1 = arr.slot_of[0], arr.slot_of[1]
+        assert arr.rank[s0] < arr.intern((7, 7)) < arr.rank[s1]
+        # ...and the live rank column stays order-consistent.
+        assert arr.rank[s0] < arr.rank[s1]
+
+    def test_discard_scrubs_neighbors_in_any_order(self):
+        arr = TaskArrays()
+        for tid in range(3):
+            arr.add(tid, 1.0, 0, (tid,))
+        arr.link(0, 1)
+        arr.link(1, 2)
+        arr.link(0, 2)
+        arr.discard(1)  # middle first: neighbors' rows must be scrubbed
+        s0, s2 = arr.slot_of[0], arr.slot_of[2]
+        assert arr.outs[s0] == [s2]
+        assert arr.ins[s2] == [s0]
+        arr.discard(0)
+        assert arr.ins[s2] == []
+        # Freed slots are reused by the next add instead of growing the table.
+        before = arr.num_slots
+        arr.add(7, 2.0, 1, (7,))
+        assert arr.num_slots == before == 3

@@ -143,6 +143,28 @@ class TestDeltaEqualsFull:
         assert abs(cost - before) < 1e-6
         assert full_simulate(sim.task_graph).equals(sim.timeline)
 
+    def test_structural_noop_skips_makespan_rescan(self, lenet_graph, topo4, monkeypatch):
+        """The ``t_cut == inf`` path (no removed task had a timeline entry,
+        no seed survived) must keep the running makespan instead of
+        rescanning every end time -- this was an O(n) scan per no-op
+        proposal."""
+        from repro.sim.full_sim import Timeline
+
+        sim = Simulator(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        before = sim.cost
+        calls = {"n": 0}
+        orig = Timeline.recompute_makespan
+
+        def counting(self):
+            calls["n"] += 1
+            return orig(self)
+
+        monkeypatch.setattr(Timeline, "recompute_makespan", counting)
+        out = delta_simulate(sim.task_graph, sim.timeline, removed={}, dirty=set())
+        assert calls["n"] == 0  # no O(n) rescan on the no-op path
+        assert out.makespan == before
+        assert full_simulate(sim.task_graph).equals(sim.timeline, tol=0.0)
+
 
 class TestSimulatorFacade:
     def test_algorithms_agree(self, lenet_graph, topo4):

@@ -12,7 +12,9 @@ from repro.soap.presets import data_parallelism, model_parallelism, single_devic
 class TestFullSimulate:
     def test_empty_graph(self, mlp_graph, topo4):
         tg = TaskGraph(mlp_graph, topo4, single_device(mlp_graph), OpProfiler(), training=False)
-        tg.tasks.clear()
+        for tid in list(tg.tasks):
+            tg.arrays.discard(tid)
+            del tg.tasks[tid]
         tl = full_simulate(tg)
         assert tl.makespan == 0.0
 
@@ -50,6 +52,7 @@ class TestFullSimulate:
         a, b = tids[0], tids[1]
         tg.tasks[a].ins.append(b)
         tg.tasks[b].outs.append(a)
+        tg.arrays.link(b, a)
         with pytest.raises(RuntimeError, match="cycle"):
             full_simulate(tg)
 
@@ -66,6 +69,15 @@ class TestFullSimulate:
         b = full_simulate(tg)
         assert a.equals(b)
         assert a.makespan == b.makespan
+
+    def test_device_orders_built_by_append_stay_sorted(self, lenet_graph, topo4):
+        """Heap pops arrive in globally sorted (ready, ckey) order, so the
+        per-device order lists are appended, never insorted -- and must
+        still come out sorted (the delta algorithms bisect into them)."""
+        tg = TaskGraph(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
+        tl = full_simulate(tg)
+        for lst in tl.device_order.values():
+            assert lst == sorted(lst)
 
 
 class TestTimeline:
