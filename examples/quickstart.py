@@ -84,11 +84,41 @@ def main() -> None:
     #        planner.search("mcmc", cfg)
     #
     #    Results are bit-identical to the local executors for the same
-    #    seeds; dead workers re-queue their chains and evaluations flush
-    #    back to the coordinator's store without a shared filesystem.
+    #    seeds; dead workers re-queue their chains (an errored chain is
+    #    retried once on a different worker) and evaluations flush back
+    #    to the coordinator's store without a shared filesystem.
     #    See examples/distributed_search.py for a runnable loopback demo.
     print("\ndistributed search: see examples/distributed_search.py "
           "(python -m repro.search.worker --bind HOST:PORT)")
+
+    # 9. Planner as a service: a resident server (python -m
+    #    repro.plan.serve) interns the problem on first sight and keeps
+    #    store shards open, so repeat requests skip the setup entirely --
+    #    and concurrent identical requests collapse onto one search.
+    #    Against a real deployment you would just connect:
+    #
+    #        with PlanClient("plan-host:7180") as client:
+    #            result = client.plan(graph, topo, config=cfg)
+    #
+    #    Here we spawn a loopback server to show the cold/warm split:
+    import signal
+
+    from repro.plan import PlanClient
+    from repro.plan.serve import spawn_local_server
+
+    proc, addr = spawn_local_server()
+    try:
+        small = cfg.replace(budget=BudgetConfig(iterations=50))
+        with PlanClient(addr) as client:
+            cold = client.plan(graph, topo, config=small)  # ships the problem
+            warm = client.plan(graph, topo, config=small.replace(seed=1))  # bare digest
+        c, w = cold.extras["serve"], warm.extras["serve"]
+        print(f"\nplanning server at {addr}: cold setup "
+              f"{c['setup_s'] * 1e3:.2f} ms -> warm setup {w['setup_s'] * 1e3:.3f} ms "
+              f"(problem interned server-side)")
+    finally:
+        proc.send_signal(signal.SIGTERM)  # graceful drain: finishes, flushes, exits 0
+        proc.wait(timeout=30)
 
 
 if __name__ == "__main__":

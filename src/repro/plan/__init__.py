@@ -72,9 +72,25 @@ point the config at them::
     result = planner.search("mcmc", cfg)
 
 Results are bit-identical to ``executor="inprocess"`` for the same seeds
-(chains are pure functions of their spec); dead workers are re-queued and
+(chains are pure functions of their spec); dead workers are re-queued,
+a chain errored by one worker is retried once on a different one, and
 remote evaluations flush back into the coordinator's persistent store --
 no shared filesystem required.  See :mod:`repro.search.exec`.
+
+Planning server
+---------------
+For interactive callers there is also a *resident* planning service:
+``python -m repro.plan.serve`` keeps interned problems, open store
+shards, and (optionally) a standing worker fleet warm between requests,
+with admission control and in-flight request dedup.  Talk to it with
+:class:`PlanClient` (or one-shot :func:`plan_remote`)::
+
+    from repro.plan import PlanClient
+
+    with PlanClient("plan-host:7180") as client:
+        result = client.plan(graph, topology, config=cfg)
+
+See :mod:`repro.plan.serve` and :mod:`repro.plan.client`.
 """
 
 from repro.plan.config import (
@@ -87,6 +103,8 @@ from repro.plan.config import (
 from repro.plan.errors import (
     DuplicateBackendError,
     PlanError,
+    PlanRejectedError,
+    PlanServiceError,
     SearchError,
     UnknownBackendError,
 )
@@ -100,6 +118,7 @@ from repro.plan.registry import (
 from repro.plan.result import PlanResult, comparison_rows
 from repro.plan.backends import register_builtins
 from repro.plan.planner import Planner
+from repro.plan.client import PlanClient, plan_remote
 
 register_builtins()
 
@@ -118,8 +137,12 @@ __all__ = [
     "get_backend",
     "available_backends",
     "register_builtins",
+    "PlanClient",
+    "plan_remote",
     "PlanError",
     "SearchError",
     "UnknownBackendError",
     "DuplicateBackendError",
+    "PlanRejectedError",
+    "PlanServiceError",
 ]

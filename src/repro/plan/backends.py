@@ -39,7 +39,7 @@ from repro.plan.registry import register_backend
 from repro.search.cache import CacheStats
 from repro.search.mcmc import MCMCConfig
 from repro.search.parallel import ChainSpec, run_chains
-from repro.search.store import StoreStats, StrategyStore
+from repro.search.store import StoreStats, StrategyStore, shared_store
 from repro.sim.simulator import simulate_strategy
 from repro.soap.presets import data_parallelism, expert_strategy
 from repro.soap.space import ConfigSpace
@@ -128,6 +128,7 @@ class McmcBackend:
             training=training,
             early_stop_cost=config.early_stop.cost_us,
             store_root=config.store.root,
+            store_shared=config.store.shared,
             executor=config.execution.executor,
             cluster=config.execution.cluster,
         )
@@ -202,7 +203,12 @@ class ExhaustiveBackend:
             # Same context digest the mcmc backend uses -> complete-strategy
             # evaluations are shared between the two (see module docstring).
             try:
-                store = StrategyStore(config.store.root, planner.store_context(config))
+                context = planner.store_context(config)
+                store = (
+                    shared_store(config.store.root, context)
+                    if config.store.shared
+                    else StrategyStore(config.store.root, context)
+                )
             except Exception as exc:  # a broken digest must never kill a search
                 warnings.warn(
                     f"strategy store disabled (context digest failed: {exc!r})",

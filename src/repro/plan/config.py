@@ -100,9 +100,18 @@ class ExecutionConfig:
 
 @dataclass(frozen=True)
 class StoreConfig:
-    """Persistent cross-run strategy store (``None`` root disables it)."""
+    """Persistent cross-run strategy store (``None`` root disables it).
+
+    ``shared=True`` makes searches reuse one process-wide open handle per
+    shard (:func:`repro.search.store.shared_store`) instead of re-opening
+    and re-parsing the shard each run -- the resident-state mode the
+    planning server (:mod:`repro.plan.serve`) forces on every request.
+    Result-neutral; per-run warm/cold store accounting is what changes
+    (entries this process recorded stay "cold" across later searches).
+    """
 
     root: str | None = None
+    shared: bool = False
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StoreConfig":

@@ -41,6 +41,7 @@ from repro.search.exec.distributed import (
     ClusterSpec,
     DispatchStats,
     DistributedExecutor,
+    dedupe_cluster,
     parse_cluster,
 )
 from repro.search.exec.local import InProcessExecutor, ProcessPoolExecutor
@@ -65,6 +66,7 @@ __all__ = [
     "ProcessPoolExecutor",
     "ProtocolError",
     "available_executors",
+    "dedupe_cluster",
     "default_workers",
     "get_executor",
     "parse_cluster",

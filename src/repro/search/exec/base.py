@@ -126,6 +126,11 @@ class ExecutionContext:
     # coordinator's entries instead and flush back over the wire.
     store_root: str | None = None
     store_context: str | None = None
+    # Reuse process-wide shared shard handles (repro.search.store.shared_store)
+    # instead of opening the shard per run -- the planning server's
+    # resident-state mode.  Result-neutral; only open/accounting behavior
+    # differs.
+    store_shared: bool = False
     # Executor-specific placement knobs.
     workers: int = 1
     cluster: tuple[str, ...] = ()

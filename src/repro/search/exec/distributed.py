@@ -16,8 +16,12 @@ back over the length-prefixed protocol of
 * **Fault tolerance.**  A worker that dies mid-chain (EOF, reset, or a
   garbage frame) is dropped and its in-flight chain re-queued on a
   surviving worker -- sound because chains are pure functions of their
-  spec, so a re-run is bit-identical to the lost run.  Only when *every*
-  worker is gone does the search fail.
+  spec, so a re-run is bit-identical to the lost run.  A worker that
+  stays alive but *errors* a chain gets the same benefit of the doubt
+  once: the chain is retried on a different worker
+  (``DispatchStats.chain_retries``) before a second failure raises, since
+  the cause may be worker-local (OOM, disk) rather than the chain itself.
+  Only when *every* worker is gone does the search fail.
 * **Remote store flush.**  Workers have no shared filesystem: they
   receive a snapshot of the coordinator's persistent
   :class:`~repro.search.store.StrategyStore` entries with the
@@ -48,12 +52,13 @@ from repro.search.exec.protocol import (
     recv_msg,
     send_msg,
 )
-from repro.search.store import StrategyStore
+from repro.search.store import StrategyStore, shared_store
 
 __all__ = [
     "ClusterSpec",
     "DispatchStats",
     "DistributedExecutor",
+    "dedupe_cluster",
     "parse_address",
     "parse_cluster",
 ]
@@ -109,12 +114,40 @@ class ClusterSpec:
         return cap
 
 
+def dedupe_cluster(entries) -> tuple[str, ...]:
+    """Drop repeated addresses from a cluster list, warning per duplicate.
+
+    A worker daemon serves one coordinator session at a time, so a second
+    connection to the same ``host:port`` parks in the daemon's listen
+    backlog until the 30s handshake timeout -- listing an address twice
+    used to stall every run by that much.  Order is preserved; the first
+    entry for an address wins (caps included: ``host:port*2,host:port``
+    keeps the ``*2`` cap).
+    """
+    kept: list[str] = []
+    seen: set[str] = set()
+    for entry in entries:
+        addr = ClusterSpec.parse(entry).address
+        if addr in seen:
+            warnings.warn(
+                f"duplicate cluster entry {entry!r} dropped: a worker daemon "
+                "serves one coordinator session at a time, so a second "
+                f"connection to {addr} would hang until the handshake timeout",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            continue
+        seen.add(addr)
+        kept.append(entry)
+    return tuple(kept)
+
+
 def parse_cluster(spec: str) -> tuple[str, ...]:
     """A comma-separated ``host:port[*N]`` list (the ``REPRO_CLUSTER`` format)."""
     addrs = tuple(a.strip() for a in spec.split(",") if a.strip())
     for a in addrs:
         ClusterSpec.parse(a)  # validate eagerly
-    return addrs
+    return dedupe_cluster(addrs)
 
 
 @dataclass
@@ -125,6 +158,11 @@ class DispatchStats:
     workers_failed: int = 0  # never completed the handshake
     workers_died: int = 0  # lost after handshake
     requeued_chains: int = 0
+    # Chains whose worker replied "error" and that were re-run once on a
+    # different worker (worker-local failures: OOM, disk, a path that
+    # only exists on the coordinator).  A chain failing twice still
+    # raises.
+    chain_retries: int = 0
     evals_flushed: int = 0  # remote evaluations recorded into the local store
     best_broadcasts: int = 0
     total_capacity: int = 0  # sum of effective per-worker chain capacities
@@ -215,11 +253,15 @@ class DistributedExecutor:
         store: StrategyStore | None = None
         store_entries: list[tuple[int, float]] = []
         if ctx.store_root is not None and ctx.store_context is not None:
-            store = StrategyStore(ctx.store_root, ctx.store_context)
+            store = (
+                shared_store(ctx.store_root, ctx.store_context)
+                if ctx.store_shared
+                else StrategyStore(ctx.store_root, ctx.store_context)
+            )
             store_entries = store.entries()
 
         workers: list[_Worker] = []
-        for addr in ctx.cluster:
+        for addr in dedupe_cluster(ctx.cluster):
             try:
                 workers.append(self._connect(addr, ctx, store_entries))
             except (OSError, ProtocolError) as exc:
@@ -245,6 +287,10 @@ class DistributedExecutor:
         results: list[ChainResult | None] = [None] * len(specs)
         done = 0
         best_cost = float("inf")
+        # task -> address of the worker whose "error" reply it survived:
+        # the retry must land elsewhere (the failure may be worker-local),
+        # and a second error on the same task raises for real.
+        failed: dict[int, str] = {}
 
         def dispatch() -> None:
             # Keep every worker filled to its capacity, spreading chains
@@ -261,6 +307,11 @@ class DistributedExecutor:
                     if len(w.tasks) >= w.capacity:
                         continue
                     task = queue.popleft()
+                    if failed.get(task) == w.addr and len(workers) > 1:
+                        # A retried chain must avoid the worker that
+                        # errored it while any other worker survives.
+                        queue.append(task)
+                        continue
                     try:
                         send_msg(
                             w.sock,
@@ -319,9 +370,36 @@ class DistributedExecutor:
                                     except OSError:
                                         pass  # reaped on its next read event
                     elif kind == "error":
+                        task = msg.get("task")
+                        valid = isinstance(task, int) and 0 <= task < len(specs)
+                        name = specs[task].name if valid else repr(task)
+                        if valid and task in w.tasks and task not in failed and len(workers) > 1:
+                            # Chains are pure, and a worker-side failure
+                            # (OOM, full disk, a dependency only installed
+                            # there) often is too: give the chain one run
+                            # on a different worker before failing the
+                            # whole search.  Dead workers already get this
+                            # treatment via re-queueing; errored replies
+                            # used to raise immediately.
+                            w.tasks.discard(task)
+                            failed[task] = w.addr
+                            queue.append(task)
+                            self.stats.chain_retries += 1
+                            warnings.warn(
+                                f"worker {w.addr} failed chain {name} "
+                                f"({msg.get('message')}); retrying it once on "
+                                "another worker",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                            continue
+                        prior = (
+                            f" (already retried after failing on {failed[task]})"
+                            if valid and task in failed
+                            else ""
+                        )
                         raise RuntimeError(
-                            f"worker {w.addr} failed chain "
-                            f"{specs[msg.get('task', -1)].name if 0 <= msg.get('task', -1) < len(specs) else msg.get('task')!r}: "
+                            f"worker {w.addr} failed chain {name}{prior}: "
                             f"{msg.get('message')}"
                         )
                     else:

@@ -13,10 +13,35 @@ The protocol is versioned: the coordinator's ``hello`` carries
 so a cluster of stale daemons fails loudly at handshake instead of
 corrupting a search.
 
+Planning-service dialect
+------------------------
+The planning server (:mod:`repro.plan.serve`) rides the same frame
+format with its own message types and its own version constant
+(:data:`SERVE_PROTOCOL_VERSION`), so the worker and plan dialects evolve
+independently:
+
+``plan_hello`` / ``plan_hello_ack``
+    JSON handshake (client sends its version; the server acks with
+    version and pid).
+``plan_request``
+    Pickle: ``{id, backend, config}`` plus either a full ``problem``
+    (graph/topology/profiler/training) or a bare ``digest`` naming a
+    problem the server already has interned (the warm path).
+``plan_result`` / ``plan_reject`` / ``plan_error`` / ``plan_unknown_problem``
+    Replies keyed by the request ``id``: a pickled
+    :class:`~repro.plan.result.PlanResult` plus serve metadata; a clean
+    admission-control rejection with a reason; a search failure; or
+    "resend with the full problem" for an unknown digest.
+``stats`` / ``stats_reply``
+    JSON: the server's counters (requests, dedup, interned problems,
+    queue depth) -- probe-able with ``nc``.
+``bye``
+    Ends the session (shared with the worker dialect).
+
 Security note: pickle frames execute arbitrary code on unpickling, as in
 every pickle-based RPC (``multiprocessing`` included).  Worker daemons
-must only be bound on trusted networks; they are search workers, not a
-public service.
+and planning servers must only be bound on trusted networks; they are
+internal services, not public ones.
 """
 
 from __future__ import annotations
@@ -29,12 +54,14 @@ from typing import Any
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SERVE_PROTOCOL_VERSION",
     "ProtocolError",
     "send_msg",
     "recv_msg",
 ]
 
 PROTOCOL_VERSION = 1
+SERVE_PROTOCOL_VERSION = 1
 
 _TAG_JSON = b"J"
 _TAG_PICKLE = b"P"

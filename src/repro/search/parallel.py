@@ -94,6 +94,7 @@ def run_chains(
     training: bool = True,
     early_stop_cost: float | None = None,
     store_root: "str | os.PathLike | None" = None,
+    store_shared: bool = False,
     executor: str = "auto",
     cluster: Sequence[str] = (),
 ) -> list[ChainResult]:
@@ -108,7 +109,9 @@ def run_chains(
     ``early_stop_cost`` is ``None`` and no chain opts into adaptive
     budgets (see the module docstring for the determinism argument).
     ``store_root`` names the persistent strategy-store directory shared
-    across runs (``None`` disables persistence).
+    across runs (``None`` disables persistence); ``store_shared=True``
+    additionally reuses one process-wide open handle per shard instead of
+    re-opening it per run (the planning server's resident-state mode).
     """
     profiler = profiler or OpProfiler()
     if not specs:
@@ -152,6 +155,7 @@ def run_chains(
         cache_size=cache_size,
         store_root=os.fspath(store_root) if store_root is not None else None,
         store_context=store_ctx,
+        store_shared=store_shared,
         workers=max(1, workers),
         cluster=tuple(cluster),
     )

@@ -44,6 +44,7 @@ from __future__ import annotations
 import hashlib
 import io
 import os
+import threading
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -72,6 +73,8 @@ __all__ = [
     "CompactionStats",
     "StrategyStore",
     "MemoryStore",
+    "shared_store",
+    "flush_shared_stores",
 ]
 
 STORE_FORMAT_VERSION = 1
@@ -332,6 +335,12 @@ class StrategyStore:
         self.context = context
         self.path = self.root / f"{context}.shard"
         self.stats = StoreStats()
+        # Guards the mutating/iterating operations (record/entries/flush)
+        # so one handle can be shared by concurrent searches in threads
+        # (the planning server's resident shards; see shared_store()).
+        # get() stays lock-free: a plain dict read is atomic under the GIL
+        # and sits on the per-proposal hot path.
+        self._lock = threading.Lock()
         self._snapshot: dict[int, float] = {}
         self._pending: dict[int, float] = {}
         # Fingerprints whose value came from disk (initial load or a
@@ -445,32 +454,46 @@ class StrategyStore:
         which see this store only through that snapshot (no shared
         filesystem; see :class:`MemoryStore`).
         """
-        return list(self._snapshot.items())
+        with self._lock:
+            return list(self._snapshot.items())
 
     def record(self, fingerprint: int, cost_us: float) -> None:
         """Buffer one evaluation for the next :meth:`flush`."""
-        if fingerprint in self._snapshot:
-            return
-        self._snapshot[fingerprint] = cost_us
-        self._pending[fingerprint] = cost_us
+        with self._lock:
+            if fingerprint in self._snapshot:
+                return
+            self._snapshot[fingerprint] = cost_us
+            self._pending[fingerprint] = cost_us
 
     # -- writing -----------------------------------------------------------
+    # Test seam: called after the shard is opened but *before* the
+    # exclusive lock is taken, so regression tests can deterministically
+    # interleave two first-flushes (tests/search/test_store.py).
+    _flush_barrier = None
+
     def flush(self) -> int:
         """Append buffered evaluations to the shard file; returns the count.
 
         Safe under concurrent writers: the whole batch is appended under
         an exclusive lock, to a file opened in append mode, so records
         from different processes interleave at line granularity at worst.
+        Whether this writer owes the shard its header line is decided
+        *inside* the lock, from ``os.fstat`` of the locked handle -- a
+        pre-lock ``exists()``/``stat()`` check races other first-flushers
+        (two processes can both conclude "fresh" and both write the
+        header, or land one mid-file after the other's batch).
         """
-        if not self._pending or not self._writable:
-            self._pending.clear()
-            return 0
-        pending, self._pending = self._pending, {}
+        with self._lock:
+            if not self._pending or not self._writable:
+                self._pending.clear()
+                return 0
+            pending, self._pending = self._pending, {}
         try:
-            fresh = not self.path.exists() or self.path.stat().st_size == 0
             with open(self.path, "a", encoding="utf-8") as fh:
+                if self._flush_barrier is not None:
+                    self._flush_barrier()
                 with _FileLock(fh, exclusive=True):
-                    if fresh:
+                    if os.fstat(fh.fileno()).st_size == 0:
                         fh.write(f"{_HEADER_PREFIX} v{STORE_FORMAT_VERSION} ctx={self.context}\n")
                     else:
                         # A pre-existing file may end mid-line (torn write,
@@ -659,3 +682,50 @@ class MemoryStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MemoryStore(entries={len(self)}, outbox={len(self._outbox)})"
+
+
+# -- shared open-shard handles -------------------------------------------------
+# A long-running process serving many searches over the same context (the
+# repro.plan.serve daemon) should not re-open and re-parse the shard per
+# request: opening is a mkdir + full file read + possible compaction sweep.
+# The registry below interns one StrategyStore per (root, context) for the
+# life of the process; reuse is a dict hit plus a cheap (size, mtime)
+# reload check that merges foreign appends.
+
+_SHARED_STORES: dict[tuple[str, str], StrategyStore] = {}
+_SHARED_STORES_LOCK = threading.Lock()
+
+
+def shared_store(root: str | os.PathLike, context: str) -> StrategyStore:
+    """A process-wide shared handle on one shard, opened at most once.
+
+    First call per ``(root, context)`` opens the shard from disk exactly
+    like ``StrategyStore(root, context)``; later calls return the same
+    (thread-safe) handle after a :meth:`StrategyStore.reload` -- which is
+    a single ``stat`` when no other process has appended.  Accounting
+    consequence: the handle's :class:`StoreStats` accumulate across every
+    search that shares it, and entries recorded by *this process* stay
+    cold hits forever -- callers wanting per-search numbers must diff
+    stats around their run (as :func:`~repro.search.exec.base.run_one_chain`
+    already does).
+    """
+    key = (os.fspath(Path(root).expanduser()), context)
+    with _SHARED_STORES_LOCK:
+        store = _SHARED_STORES.get(key)
+        if store is None:
+            store = StrategyStore(root, context)
+            _SHARED_STORES[key] = store
+            return store
+    store.reload()
+    return store
+
+
+def flush_shared_stores() -> int:
+    """Flush every shared handle; returns the entries written.
+
+    The planning server's drain path: buffered evaluations from in-flight
+    searches must reach disk before the process exits.
+    """
+    with _SHARED_STORES_LOCK:
+        stores = list(_SHARED_STORES.values())
+    return sum(s.flush() for s in stores)

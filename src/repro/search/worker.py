@@ -102,10 +102,19 @@ def _log(msg: str) -> None:
 
 
 def _serve_connection(
-    conn: socket.socket, *, chain_delay_s: float = 0.0, capacity: int = 1
+    conn: socket.socket,
+    *,
+    chain_delay_s: float = 0.0,
+    capacity: int = 1,
+    fail_chains: int = 0,
 ) -> None:
     """One coordinator session: env, chains, results, bye."""
     capacity = max(1, int(capacity))
+    # Fault injection (--fail-chains N): the first N chains of each
+    # session error out instead of running, exercising the coordinator's
+    # retry-on-a-different-worker path without a real OOM.
+    faults = {"left": max(0, int(fail_chains))}
+    faults_lock = threading.Lock()
     hello = recv_msg(conn)
     if hello is None or hello.get("type") != "hello":
         raise ProtocolError(f"expected hello, got {hello!r}")
@@ -169,6 +178,12 @@ def _serve_connection(
             # failure means the connection is gone and the thread should
             # exit, otherwise the coordinator waits on this worker forever.
             try:
+                with faults_lock:
+                    inject = faults["left"] > 0
+                    if inject:
+                        faults["left"] -= 1
+                if inject:
+                    raise RuntimeError("injected chain fault (--fail-chains)")
                 result = run_one_chain(ctx, spec, cache, store, best, None)
                 evals = store.drain_outbox() if store is not None else []
                 reply = {"type": "result", "task": task, "result": result, "evals": evals}
@@ -248,6 +263,7 @@ def serve(
     once: bool = False,
     chain_delay_s: float = 0.0,
     capacity: int = 1,
+    fail_chains: int = 0,
     announce_stream=None,
 ) -> None:
     """Listen on ``bind`` and serve coordinator sessions until killed.
@@ -271,7 +287,12 @@ def serve(
             conn, addr = srv.accept()
             _log(f"coordinator connected from {addr[0]}:{addr[1]}")
             try:
-                _serve_connection(conn, chain_delay_s=chain_delay_s, capacity=capacity)
+                _serve_connection(
+                    conn,
+                    chain_delay_s=chain_delay_s,
+                    capacity=capacity,
+                    fail_chains=fail_chains,
+                )
             except (ProtocolError, OSError) as exc:
                 _log(f"session ended abnormally: {exc!r}")
             else:
@@ -287,6 +308,7 @@ def spawn_local_worker(
     once: bool = False,
     chain_delay_s: float = 0.0,
     capacity: int = 1,
+    fail_chains: int = 0,
     env: dict | None = None,
 ) -> tuple["subprocess.Popen", str]:
     """Start a loopback worker daemon subprocess; returns ``(proc, "host:port")``.
@@ -309,6 +331,8 @@ def spawn_local_worker(
         args += ["--chain-delay-s", str(chain_delay_s)]
     if capacity != 1:
         args += ["--capacity", str(capacity)]
+    if fail_chains > 0:
+        args += ["--fail-chains", str(fail_chains)]
     proc = subprocess.Popen(args, stdout=subprocess.PIPE, text=True, env=full_env)
     assert proc.stdout is not None
     line = proc.stdout.readline().strip()
@@ -348,6 +372,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help=argparse.SUPPRESS,  # test/debug aid: sleep before each chain
     )
+    parser.add_argument(
+        "--fail-chains",
+        type=int,
+        default=0,
+        help=argparse.SUPPRESS,  # test aid: error the first N chains per session
+    )
     args = parser.parse_args(argv)
     try:
         serve(
@@ -355,6 +385,7 @@ def main(argv: list[str] | None = None) -> int:
             once=args.once,
             chain_delay_s=args.chain_delay_s,
             capacity=args.capacity,
+            fail_chains=args.fail_chains,
         )
     except KeyboardInterrupt:
         _log("interrupted; shutting down")

@@ -1,0 +1,187 @@
+"""Tests for the planning server (``repro.plan.serve``) and its client.
+
+The load-bearing guarantees:
+
+* **parity** -- a plan served remotely is bit-identical to the same
+  search run locally (the server adds residency, never changes results);
+* **dedup** -- concurrent identical requests collapse onto one search
+  and every waiter gets the result;
+* **warm path** -- a second request for an interned problem skips the
+  graph shipping/rebuild and the store re-open (measurably cheaper
+  setup);
+* **admission control** -- a full queue rejects with a reason instead of
+  hanging or dropping;
+* **graceful drain** -- SIGTERM finishes in-flight searches, flushes the
+  store, and exits 0.
+"""
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.plan import (
+    BudgetConfig,
+    PlanClient,
+    Planner,
+    PlanRejectedError,
+    PlanServiceError,
+    SearchConfig,
+)
+from repro.plan.client import plan_remote
+from repro.plan.serve import spawn_local_server
+from repro.search.store import StrategyStore
+
+CFG = SearchConfig(budget=BudgetConfig(iterations=25), inits=("data_parallel",), seed=0)
+
+
+@contextmanager
+def _server(**kwargs):
+    proc, addr = spawn_local_server(**kwargs)
+    try:
+        yield proc, addr
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestRemotePlanning:
+    def test_remote_result_matches_local(self, lenet_graph, topo2):
+        local = Planner(lenet_graph, topo2).search("mcmc", CFG)
+        with _server() as (_, addr):
+            remote = plan_remote(addr, lenet_graph, topo2, config=CFG)
+        assert remote.best_cost_us == local.best_cost_us
+        assert remote.best_strategy.signature() == local.best_strategy.signature()
+        assert remote.simulations == local.simulations
+        assert remote.extras["serve"]["digest"]
+
+    def test_backend_failure_surfaces_as_service_error(self, lenet_graph, topo2):
+        with _server() as (_, addr), PlanClient(addr) as client:
+            with pytest.raises(PlanServiceError, match="unknown search backend"):
+                client.plan(lenet_graph, topo2, backend="carrier-pigeon", config=CFG)
+            # The session survives a failed request.
+            ok = client.plan(lenet_graph, topo2, config=CFG)
+            assert ok.best_cost_us > 0
+
+    def test_unknown_digest_falls_back_to_full_problem(self, lenet_graph, topo2):
+        with _server() as (_, addr), PlanClient(addr) as client:
+            # Simulate a stale cache (e.g. the server restarted): the
+            # client believes the server holds a problem it does not.
+            client._digests.append(
+                (lenet_graph, topo2, None, True, CFG.algorithm, "0" * 32)
+            )
+            result = client.plan(lenet_graph, topo2, config=CFG)
+            stats = client.stats()
+        assert result.best_cost_us > 0
+        assert stats["unknown_digest"] == 1
+        assert stats["completed"] == 1
+
+
+class TestDedupAndWarmPath:
+    def test_concurrent_identical_requests_share_one_search(self, lenet_graph, topo2):
+        # The delay widens the dedup window: the second request is
+        # guaranteed to arrive while the first search is still in flight.
+        with _server(request_delay_s=0.5) as (_, addr):
+            results = [None, None]
+
+            def one(i):
+                with PlanClient(addr) as client:
+                    results[i] = client.plan(lenet_graph, topo2, config=CFG)
+
+            threads = [threading.Thread(target=one, args=(i,)) for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with PlanClient(addr) as client:
+                stats = client.stats()
+        assert results[0] is not None and results[1] is not None
+        assert results[0].best_cost_us == results[1].best_cost_us
+        assert results[0].best_strategy.signature() == results[1].best_strategy.signature()
+        assert stats["requests"] == 2
+        assert stats["searches"] == 1  # exactly one search ran
+        assert stats["deduped"] == 1
+        assert stats["completed"] == 1
+
+    def test_second_request_is_warm_and_skips_setup(self, lenet_graph, topo2, tmp_path):
+        with _server(store_root=str(tmp_path / "store")) as (_, addr):
+            with PlanClient(addr) as client:
+                cold = client.plan(lenet_graph, topo2, config=CFG)
+                # Different seed: a genuinely new search, same problem.
+                warm = client.plan(lenet_graph, topo2, config=CFG.replace(seed=1))
+                stats = client.stats()
+        cold_serve, warm_serve = cold.extras["serve"], warm.extras["serve"]
+        assert cold_serve["warm"] is False
+        assert warm_serve["warm"] is True
+        assert warm_serve["digest"] == cold_serve["digest"]
+        # One problem built, reused once; the warm request resolved
+        # against resident state (no graph rebuild, no store re-open),
+        # so its setup is measurably cheaper than the cold one's.
+        assert stats["problems_interned"] == 1
+        assert stats["problem_hits"] == 1
+        assert warm_serve["setup_s"] < cold_serve["setup_s"]
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_with_reason(self, lenet_graph, topo2):
+        with _server(serve_workers=1, queue_limit=1, request_delay_s=1.0) as (_, addr):
+            outcomes: list = [None, None, None]
+
+            def one(i):
+                time.sleep(0.4 * i)  # staggered: running, queued, rejected
+                try:
+                    with PlanClient(addr) as client:
+                        outcomes[i] = client.plan(
+                            lenet_graph, topo2, config=CFG.replace(seed=10 + i)
+                        )
+                except PlanRejectedError as exc:
+                    outcomes[i] = exc
+
+            threads = [threading.Thread(target=one, args=(i,)) for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with PlanClient(addr) as client:
+                stats = client.stats()
+        assert outcomes[0].best_cost_us > 0
+        assert outcomes[1].best_cost_us > 0
+        assert isinstance(outcomes[2], PlanRejectedError)
+        assert "queue full" in outcomes[2].reason
+        assert stats["rejected"] == 1
+        assert stats["completed"] == 2
+
+
+class TestGracefulDrain:
+    def test_sigterm_finishes_inflight_rejects_new_and_flushes(
+        self, lenet_graph, topo2, tmp_path
+    ):
+        store_root = tmp_path / "store"
+        with _server(store_root=str(store_root), request_delay_s=0.8) as (proc, addr):
+            result = {}
+
+            def one():
+                with PlanClient(addr) as client:
+                    result["plan"] = client.plan(lenet_graph, topo2, config=CFG)
+
+            late = PlanClient(addr)  # a second session, opened pre-drain
+            t = threading.Thread(target=one)
+            t.start()
+            time.sleep(0.4)  # the request is admitted and in flight
+            proc.send_signal(signal.SIGTERM)
+            time.sleep(0.1)
+            with pytest.raises(PlanRejectedError, match="draining"):
+                late.plan(lenet_graph, topo2, config=CFG.replace(seed=99))
+            late.close()
+            t.join(timeout=60)
+            assert result["plan"].best_cost_us > 0
+            assert proc.wait(timeout=60) == 0
+        # The drain flushed the shared store: a fresh process sees the
+        # in-flight search's evaluations on disk.
+        shards = list(store_root.glob("*.shard"))
+        assert len(shards) == 1
+        reopened = StrategyStore(store_root, shards[0].stem)
+        assert len(reopened) > 0

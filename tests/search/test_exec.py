@@ -563,3 +563,78 @@ class TestWorkerDaemon:
         finally:
             proc.terminate()
             proc.wait(timeout=10)
+
+
+class TestErroredChainRetry:
+    """A worker-side "error" reply gives the chain one run on a different
+    worker before the search fails (regression: it used to raise
+    immediately, so one worker's OOM killed the whole distributed run)."""
+
+    def test_errored_chain_retried_on_another_worker(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=15)
+        ref = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        with _Workers(1, once=True, fail_chains=1) as flaky, _Workers(1, once=True) as good:
+            executor = DistributedExecutor()
+            ctx = ExecutionContext(
+                graph=lenet_graph,
+                topology=topo2,
+                profiler=OpProfiler(),
+                cluster=(flaky.cluster[0], good.cluster[0]),
+            )
+            with pytest.warns(RuntimeWarning, match="retrying it once on another worker"):
+                dist = executor.run(ctx, specs)
+        assert executor.stats.chain_retries == 1
+        assert chains_equal(ref, dist)
+
+    def test_chain_failing_on_two_workers_raises(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=1, iterations=10)
+        with _Workers(2, once=True, fail_chains=1) as w:
+            ctx = ExecutionContext(
+                graph=lenet_graph, topology=topo2, profiler=OpProfiler(), cluster=w.cluster
+            )
+            with pytest.warns(RuntimeWarning, match="retrying it once"):
+                with pytest.raises(RuntimeError, match="already retried after failing on"):
+                    DistributedExecutor().run(ctx, specs)
+
+    def test_single_worker_error_raises_immediately(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=1, iterations=10)
+        with _Workers(1, once=True, fail_chains=1) as w:
+            ctx = ExecutionContext(
+                graph=lenet_graph, topology=topo2, profiler=OpProfiler(), cluster=w.cluster
+            )
+            executor = DistributedExecutor()
+            with pytest.raises(RuntimeError, match="failed chain"):
+                executor.run(ctx, specs)
+        assert executor.stats.chain_retries == 0
+
+
+class TestClusterDedup:
+    """Regression: a duplicate ``host:port`` used to park the second
+    connection in the daemon's listen backlog until the 30s handshake
+    timeout, stalling every run."""
+
+    def test_parse_cluster_drops_duplicates_with_warning(self):
+        from repro.search.exec import dedupe_cluster, parse_cluster
+
+        with pytest.warns(RuntimeWarning, match="duplicate cluster entry"):
+            assert parse_cluster("a:1,b:2,a:1") == ("a:1", "b:2")
+        with pytest.warns(RuntimeWarning, match="duplicate cluster entry"):
+            # The first entry for an address wins, its capacity cap included.
+            assert dedupe_cluster(("a:1*2", "a:1")) == ("a:1*2",)
+
+    def test_duplicate_daemon_address_runs_once(self, lenet_graph, topo2):
+        specs = make_specs(lenet_graph, topo2, n=2, iterations=10)
+        ref = run_chains(lenet_graph, topo2, specs, OpProfiler(), executor="inprocess")
+        with _Workers(1, once=True) as w:
+            executor = DistributedExecutor()
+            ctx = ExecutionContext(
+                graph=lenet_graph,
+                topology=topo2,
+                profiler=OpProfiler(),
+                cluster=(w.cluster[0], w.cluster[0]),
+            )
+            with pytest.warns(RuntimeWarning, match="duplicate cluster entry"):
+                dist = executor.run(ctx, specs)
+        assert executor.stats.workers_connected == 1
+        assert executor.stats.workers_failed == 0
+        assert chains_equal(ref, dist)

@@ -605,3 +605,101 @@ class TestReloadMidSearch:
         for i, fp in enumerate(peer_fps):
             assert store.get(fp) == float(i)
         assert store.stats.warm_hits == warm_before + len(peer_fps)
+
+
+# Module-level so it survives the trip into mp.Process under fork.
+def _racing_first_flush_proc(root, context, fp, barrier):
+    store = StrategyStore(root, context)
+    store.record(fp, float(fp))
+    # Every racer parks right between opening the shard and taking the
+    # exclusive lock -- the exact window where the old pre-lock freshness
+    # check went stale.
+    StrategyStore._flush_barrier = barrier.wait
+    try:
+        store.flush()
+    finally:
+        StrategyStore._flush_barrier = None
+
+
+class TestFirstFlushRace:
+    """Regression: whether a flush owes the shard its header line must be
+    decided *inside* the exclusive lock.  The old pre-lock ``exists()``
+    check let two concurrent first-flushes both conclude "fresh" and both
+    write a header (one of them mid-file)."""
+
+    def _header_lines(self, root):
+        with open(_shard(root), encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        return [i for i, line in enumerate(lines) if line.startswith("#repro-strategy-store")]
+
+    def test_two_threads_first_flush_single_header(self, tmp_path, monkeypatch):
+        import threading
+
+        barrier = threading.Barrier(2)
+        monkeypatch.setattr(StrategyStore, "_flush_barrier", staticmethod(barrier.wait))
+        stores = [StrategyStore(tmp_path, CTX) for _ in range(2)]
+        for i, s in enumerate(stores):
+            s.record(i, float(i))
+        threads = [threading.Thread(target=s.flush) for s in stores]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert self._header_lines(tmp_path) == [0]
+        merged = StrategyStore(tmp_path, CTX)
+        assert merged.stats.dropped == 0
+        assert len(merged) == 2
+
+    @pytest.mark.skipif(
+        "fork" not in mp.get_all_start_methods(), reason="needs fork start method"
+    )
+    def test_multiprocess_first_flush_single_header(self, tmp_path):
+        ctx = mp.get_context("fork")
+        n = 4
+        barrier = ctx.Barrier(n)
+        procs = [
+            ctx.Process(
+                target=_racing_first_flush_proc, args=(str(tmp_path), CTX, fp, barrier)
+            )
+            for fp in range(n)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        assert self._header_lines(tmp_path) == [0]
+        merged = StrategyStore(tmp_path, CTX)
+        assert merged.stats.dropped == 0
+        assert len(merged) == n
+        for fp in range(n):
+            assert merged.get(fp) == float(fp)
+
+
+class TestSharedStores:
+    def test_same_key_returns_same_handle(self, tmp_path):
+        from repro.search.store import shared_store
+
+        a = shared_store(tmp_path, CTX)
+        b = shared_store(tmp_path, CTX)
+        other = shared_store(tmp_path, "e" * 32)
+        assert a is b
+        assert other is not a
+
+    def test_reuse_reloads_peer_appends(self, tmp_path):
+        from repro.search.store import shared_store
+
+        handle = shared_store(tmp_path, "d" * 32)
+        peer = StrategyStore(tmp_path, "d" * 32)
+        peer.record(7, 70.0)
+        peer.flush()
+        assert shared_store(tmp_path, "d" * 32).get(7) == 70.0
+        assert handle.get(7) == 70.0
+
+    def test_flush_shared_stores_persists_pending(self, tmp_path):
+        from repro.search.store import flush_shared_stores, shared_store
+
+        handle = shared_store(tmp_path, "c" * 32)
+        handle.record(42, 4.2)
+        assert flush_shared_stores() >= 1
+        assert StrategyStore(tmp_path, "c" * 32).get(42) == 4.2
