@@ -131,6 +131,7 @@ class McmcBackend:
             store_shared=config.store.shared,
             executor=config.execution.executor,
             cluster=config.execution.cluster,
+            join_bind=config.execution.join_bind,
         )
         wall = time.perf_counter() - t0
 

@@ -81,12 +81,18 @@ class ExecutionConfig:
     ``python -m repro.search.worker`` daemons listed in ``cluster`` as
     ``"host:port"`` strings.  Results are bit-identical across executors
     for a fixed seed set; the choice is pure capacity.
+
+    ``join_bind`` (``"host:port"``, port 0 for kernel-assigned) makes
+    the distributed coordinator open a registration listener so
+    ``python -m repro.search.worker --join`` daemons can enter the
+    fleet mid-search; ``None`` keeps the fleet fixed at dispatch time.
     """
 
     workers: int = 1
     cache_size: int = DEFAULT_CACHE_SIZE
     executor: str = "auto"
     cluster: tuple[str, ...] = ()
+    join_bind: str | None = None
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionConfig":

@@ -21,6 +21,13 @@ per invocation:
   daemons; ``--workers N`` selects local pool fan-out instead.
   Execution resources belong to the server -- cluster entries in client
   configs are ignored.
+* **Elastic fleet.**  ``--join-bind host:port`` opens a registration
+  listener (the worker protocol's ``join``/``join_ack`` frames, see
+  :mod:`repro.search.exec.protocol`): a
+  ``python -m repro.search.worker --join`` daemon announcing itself
+  there is added to the standing fleet and every *subsequent* search
+  dispatches to it -- the fleet grows between requests without a server
+  restart (``ServeStats.workers_joined``).
 
 Production behaviour:
 
@@ -69,8 +76,9 @@ from dataclasses import dataclass
 
 from repro.plan.config import ExecutionConfig, SearchConfig, StoreConfig
 from repro.plan.planner import Planner
-from repro.search.exec.distributed import dedupe_cluster
+from repro.search.exec.distributed import ClusterSpec, dedupe_cluster, parse_address
 from repro.search.exec.protocol import (
+    PROTOCOL_VERSION,
     SERVE_PROTOCOL_VERSION,
     ProtocolError,
     recv_msg,
@@ -79,6 +87,10 @@ from repro.search.exec.protocol import (
 from repro.search.store import flush_shared_stores, shared_store
 
 __all__ = ["PlanServer", "ServeStats", "serve", "spawn_local_server", "main"]
+
+# A join registration is three small frames; a stalled joiner must not
+# wedge the registration loop.
+_JOIN_TIMEOUT_S = 10.0
 
 
 def _log(msg: str) -> None:
@@ -98,6 +110,7 @@ class ServeStats:
     unknown_digest: int = 0  # digest-only requests naming a problem we don't hold
     problems_interned: int = 0  # distinct problems built and kept resident
     problem_hits: int = 0  # requests resolved against an already-interned problem
+    workers_joined: int = 0  # daemons added to the fleet via the join listener
 
 
 def _request_key(digest: str, backend: str, config: SearchConfig) -> str:
@@ -168,6 +181,7 @@ class PlanServer:
         queue_limit: int = 32,
         exec_workers: int | None = None,
         cluster: tuple[str, ...] = (),
+        join_bind: str | None = None,
         request_delay_s: float = 0.0,
         announce_stream=None,
     ):
@@ -180,6 +194,12 @@ class PlanServer:
         self.queue_limit = max(1, int(queue_limit))
         self.exec_workers = exec_workers
         self.cluster = dedupe_cluster(cluster) if cluster else ()
+        self.join_bind = join_bind
+        # "host:port" of the request listener / registration listener
+        # once serve_forever binds them (the latter stays None when
+        # join_bind is unset).
+        self.address: str | None = None
+        self.join_address: str | None = None
         self.request_delay_s = request_delay_s  # test aid: widens the dedup window
         self._announce_stream = announce_stream
 
@@ -193,6 +213,7 @@ class PlanServer:
         self._next_sid = 0
         self._draining = threading.Event()
         self._srv: socket.socket | None = None
+        self._join_srv: socket.socket | None = None
         self._problems: dict[str, Planner] = {}  # store-context digest -> planner
         self._problems_lock = threading.Lock()
 
@@ -205,11 +226,27 @@ class PlanServer:
         srv.listen(16)
         self._srv = srv
         bound_host, bound_port = srv.getsockname()[:2]
+        self.address = f"{bound_host}:{bound_port}"
         stream = self._announce_stream if self._announce_stream is not None else sys.stdout
         print(f"REPRO-PLAN-SERVE {bound_host} {bound_port}", file=stream, flush=True)
         if install_signal_handlers and threading.current_thread() is threading.main_thread():
             for sig in (signal.SIGTERM, signal.SIGINT):
                 signal.signal(sig, lambda *_: self.shutdown())
+
+        join_thread: threading.Thread | None = None
+        if self.join_bind is not None:
+            jhost, jport = parse_address(self.join_bind, allow_ephemeral=True)
+            jsrv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            jsrv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            jsrv.bind((jhost, jport))
+            jsrv.listen(8)
+            self._join_srv = jsrv
+            self.join_address = f"{jhost}:{jsrv.getsockname()[1]}"
+            _log(f"worker registration listener on {self.join_address}")
+            join_thread = threading.Thread(
+                target=self._join_loop, args=(jsrv,), name="plan-join", daemon=True
+            )
+            join_thread.start()
 
         workers = [
             threading.Thread(target=self._work_loop, name=f"plan-search-{i}", daemon=True)
@@ -218,12 +255,19 @@ class PlanServer:
         for t in workers:
             t.start()
 
+        # Wake periodically: a close() from shutdown() on another thread
+        # does not interrupt a blocked accept() (only the signal path
+        # does), so a drain must never rely on it.
+        srv.settimeout(0.5)
         try:
             while not self._draining.is_set():
                 try:
                     conn, addr = srv.accept()
+                except TimeoutError:
+                    continue
                 except OSError:
                     break  # shutdown() closed the listener
+                conn.settimeout(None)
                 peer = f"{addr[0]}:{addr[1]}"
                 with self._work:
                     session = _Session(conn, self._next_sid, peer)
@@ -238,10 +282,17 @@ class PlanServer:
                 _log(f"client connected from {peer} (session {session.sid})")
         finally:
             self._draining.set()
+            if self._join_srv is not None:
+                try:
+                    self._join_srv.close()
+                except OSError:
+                    pass
             with self._work:
                 self._work.notify_all()
             for t in workers:
                 t.join()
+            if join_thread is not None:
+                join_thread.join(timeout=_JOIN_TIMEOUT_S + 1.0)
             flushed = flush_shared_stores()
             with self._work:
                 sessions = list(self._sessions)
@@ -270,8 +321,80 @@ class PlanServer:
                 self._srv.close()
             except OSError:
                 pass
+        if self._join_srv is not None:
+            try:
+                self._join_srv.close()
+            except OSError:
+                pass
         with self._work:
             self._work.notify_all()
+
+    # -- worker registration -----------------------------------------------
+    def _join_loop(self, listener: socket.socket) -> None:
+        """Accept ``join`` registrations until the listener is closed.
+
+        A registered daemon is appended to :attr:`cluster`, so the next
+        search a request admits dispatches to it (``_normalize_config``
+        reads the fleet per request) -- the listener never touches a
+        search already running.
+        """
+        # Same periodic wake as the request listener: a cross-thread
+        # close() never interrupts a blocked accept().
+        listener.settimeout(0.5)
+        while not self._draining.is_set():
+            try:
+                conn, addr = listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed (drain)
+            peer = f"{addr[0]}:{addr[1]}"
+            try:
+                try:
+                    conn.settimeout(_JOIN_TIMEOUT_S)
+                    msg = recv_msg(conn)
+                    if msg is None or msg.get("type") != "join":
+                        raise ProtocolError(f"expected join, got {msg!r}")
+                    ack = {"type": "join_ack", "version": PROTOCOL_VERSION}
+                    if msg.get("version") != PROTOCOL_VERSION:
+                        ack["error"] = (
+                            f"worker speaks protocol v{msg.get('version')}, "
+                            f"server speaks v{PROTOCOL_VERSION}"
+                        )
+                        send_msg(conn, ack)
+                        raise ProtocolError(ack["error"])
+                    advertise = str(msg.get("advertise") or "")
+                    if not advertise:
+                        ack["error"] = (
+                            "join carries no advertise address (start the "
+                            "worker with --bind and --join)"
+                        )
+                        send_msg(conn, ack)
+                        raise ProtocolError(ack["error"])
+                    adv = ClusterSpec.parse(advertise).address
+                    send_msg(conn, ack)
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            except (OSError, ProtocolError, ValueError) as exc:
+                _log(f"worker join from {peer} rejected: {exc!r}")
+                continue
+            with self._work:
+                known = {ClusterSpec.parse(e).address for e in self.cluster}
+                if adv in known:
+                    _log(f"worker {advertise} re-joined (already in the fleet)")
+                    continue
+                # Tuple replacement is atomic under the GIL, so readers
+                # (_normalize_config) never see a half-built fleet.
+                self.cluster = self.cluster + (advertise,)
+                self.stats.workers_joined += 1
+            _log(
+                f"worker {advertise} joined the fleet "
+                f"(pid={msg.get('pid')}, capacity={msg.get('capacity')}); "
+                f"fleet is now {len(self.cluster)} worker(s)"
+            )
 
     # -- per-session reader ------------------------------------------------
     def _read_session(self, session: _Session) -> None:
@@ -540,7 +663,9 @@ class PlanServer:
             d["queued"] = self._queued
             d["running"] = self._running
             d["sessions"] = len(self._sessions)
+            d["cluster"] = list(self.cluster)
         d["problems_resident"] = len(self._problems)
+        d["join_address"] = self.join_address
         d["draining"] = self._draining.is_set()
         return d
 
@@ -557,6 +682,7 @@ def spawn_local_server(
     queue_limit: int = 32,
     workers: int | None = None,
     cluster: tuple[str, ...] = (),
+    join_bind: str | None = None,
     request_delay_s: float = 0.0,
     env: dict | None = None,
 ) -> tuple["subprocess.Popen", str]:
@@ -584,6 +710,8 @@ def spawn_local_server(
         args += ["--workers", str(workers)]
     if cluster:
         args += ["--cluster", ",".join(cluster)]
+    if join_bind is not None:
+        args += ["--join-bind", join_bind]
     if request_delay_s > 0.0:
         args += ["--request-delay-s", str(request_delay_s)]
     proc = subprocess.Popen(args, stdout=subprocess.PIPE, text=True, env=full_env)
@@ -691,6 +819,13 @@ def main(argv: list[str] | None = None) -> int:
         help="standing worker-daemon fleet every search dispatches to",
     )
     parser.add_argument(
+        "--join-bind",
+        default=None,
+        metavar="HOST:PORT",
+        help="open a worker registration listener here (port 0 = "
+        "kernel-assigned): joining daemons grow the fleet between requests",
+    )
+    parser.add_argument(
         "--request-delay-s",
         type=float,
         default=0.0,
@@ -712,6 +847,7 @@ def main(argv: list[str] | None = None) -> int:
         queue_limit=args.queue_limit,
         exec_workers=args.workers,
         cluster=cluster,
+        join_bind=args.join_bind,
         request_delay_s=args.request_delay_s,
     )
     return 0

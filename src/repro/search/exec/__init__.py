@@ -11,8 +11,11 @@ the ``mcmc`` planner backend.  Three built-in executors implement the
     Local process-pool fan-out (``ExecutionConfig.workers``).
 ``distributed``
     Socket dispatch to ``python -m repro.search.worker`` daemons
-    (``ExecutionConfig.cluster``), with worker-death re-queueing and a
-    remote store-flush path for clusters without a shared filesystem.
+    (``ExecutionConfig.cluster``), with worker-death re-queueing, a
+    remote store-flush path for clusters without a shared filesystem,
+    mid-search worker joins (``ExecutionConfig.join_bind`` + the
+    daemons' ``--join``), evaluation gossip between workers, and wire
+    transport for the adaptive iteration-budget pool.
 
 All three produce bit-identical results for a fixed seed set (costs are
 pure functions of the strategy; every chain carries its own RNG), so the
@@ -45,7 +48,11 @@ from repro.search.exec.distributed import (
     parse_cluster,
 )
 from repro.search.exec.local import InProcessExecutor, ProcessPoolExecutor
-from repro.search.exec.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.search.exec.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    VersionMismatchError,
+)
 
 register_executor(InProcessExecutor.name, InProcessExecutor, overwrite=True)
 register_executor(ProcessPoolExecutor.name, ProcessPoolExecutor, overwrite=True)
@@ -65,6 +72,7 @@ __all__ = [
     "InProcessExecutor",
     "ProcessPoolExecutor",
     "ProtocolError",
+    "VersionMismatchError",
     "available_executors",
     "dedupe_cluster",
     "default_workers",

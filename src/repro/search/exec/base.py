@@ -134,6 +134,12 @@ class ExecutionContext:
     # Executor-specific placement knobs.
     workers: int = 1
     cluster: tuple[str, ...] = ()
+    # Elastic fleets: ``"host:port"`` the distributed coordinator binds
+    # its registration listener on (port 0 = kernel-assigned), so
+    # ``python -m repro.search.worker --join`` daemons can announce
+    # themselves mid-search and steal queued chains.  ``None`` keeps the
+    # fleet fixed at dispatch time.
+    join_bind: str | None = None
 
 
 @runtime_checkable
@@ -247,6 +253,7 @@ def _store_delta(after: StoreStats, before: StoreStats) -> StoreStats:
         warm_hits=after.warm_hits - before.warm_hits,
         appended=after.appended - before.appended,
         dropped=after.dropped,
+        gossiped=after.gossiped,
         auto_compactions=after.auto_compactions,
         compaction_bytes_saved=after.compaction_bytes_saved,
     )

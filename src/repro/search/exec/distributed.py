@@ -29,12 +29,33 @@ back over the length-prefixed protocol of
   recorded evaluations back with each result.  The coordinator records
   and flushes them into its own store -- the remote-flush path that
   makes cross-run persistence work without NFS.
+* **Mid-search join.**  With ``ExecutionContext.join_bind`` set, the
+  coordinator opens a *registration listener* (address published in its
+  ``hello`` frames and on :attr:`DistributedExecutor.join_address`).  A
+  fresh ``python -m repro.search.worker --join host:port`` daemon
+  announces itself there; the coordinator connects back to the
+  advertised address, ships the environment plus a *current* store
+  snapshot, and the joiner immediately steals queued chains
+  (``DispatchStats.workers_joined`` / ``stolen_chains``).
+* **Evaluation gossip.**  Evaluations one worker ships home are not
+  just flushed locally: the coordinator forwards them to the rest of
+  the fleet as incremental ``store_delta`` frames, which workers merge
+  into their :class:`~repro.search.store.MemoryStore` overlays as warm
+  entries -- sibling chains get warm hits mid-session instead of
+  re-simulating strategies the fleet has already costed.
+* **Adaptive budget transport.**  Chains with
+  ``MCMCConfig.adaptive=True`` share an iteration-budget pool hosted on
+  the coordinator: workers send ``budget_deposit`` frames when a chain
+  stalls and ``budget_withdraw`` requests (answered by
+  ``budget_grant``) while improving, mirroring the shared-memory pool
+  of the local executors across the wire.
 
-Determinism: with ``early_stop_cost=None`` the results are bit-identical
-to the in-process and pool executors for the same specs, regardless of
-cluster size, dispatch order, or mid-search worker deaths.  Adaptive
-budgets are not transported (the pool is shared memory); chains
-requesting them run on their fixed budgets with a ``RuntimeWarning``.
+Determinism: with ``early_stop_cost=None`` and adaptive budgets off the
+results are bit-identical to the in-process and pool executors for the
+same specs, regardless of cluster size, dispatch order, mid-search
+worker deaths, or mid-search worker joins (chains are pure functions of
+their specs; gossip only changes which host simulates first).  Adaptive
+budgets remain the opt-in timing-dependent feature they are locally.
 """
 
 from __future__ import annotations
@@ -45,10 +66,16 @@ import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.search.exec.base import ChainResult, ChainSpec, ExecutionContext
+from repro.search.exec.base import (
+    ChainResult,
+    ChainSpec,
+    ExecutionContext,
+    LocalBudget,
+)
 from repro.search.exec.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    VersionMismatchError,
     recv_msg,
     send_msg,
 )
@@ -65,14 +92,36 @@ __all__ = [
 
 _CONNECT_TIMEOUT_S = 10.0
 _HANDSHAKE_TIMEOUT_S = 30.0
+# A join registration is three small frames on a fresh connection; a
+# joiner that stalls longer than this must not hold up the search loop.
+_JOIN_TIMEOUT_S = 10.0
 
 
-def parse_address(addr: str) -> tuple[str, int]:
-    """``"host:port"`` -> ``(host, port)``; loud on malformed entries."""
+def parse_address(addr: str, *, allow_ephemeral: bool = False) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``; loud on malformed entries.
+
+    The port must be an integer in 1-65535 (``host:abc`` used to leak a
+    raw ``int()`` ValueError, and nonsense ports like 0 or 70000 were
+    silently accepted and only failed much later at connect time).
+    ``allow_ephemeral`` additionally admits port 0 for *bind* addresses
+    where the kernel picks the port (e.g. a registration listener).
+    """
     host, sep, port = addr.rpartition(":")
     if not sep or not host:
         raise ValueError(f"cluster address {addr!r} is not of the form host:port")
-    return host, int(port)
+    try:
+        port_n = int(port)
+    except ValueError:
+        raise ValueError(
+            f"cluster address {addr!r} is not of the form host:port "
+            f"(port {port!r} is not an integer)"
+        ) from None
+    if not ((0 if allow_ephemeral else 1) <= port_n <= 65535):
+        raise ValueError(
+            f"cluster address {addr!r} is not of the form host:port "
+            f"(port {port_n} is outside 1-65535)"
+        )
+    return host, port_n
 
 
 @dataclass(frozen=True)
@@ -167,19 +216,40 @@ class DispatchStats:
     best_broadcasts: int = 0
     total_capacity: int = 0  # sum of effective per-worker chain capacities
     dead_addresses: list[str] = field(default_factory=list)
+    # Elasticity (protocol v2): workers that announced themselves on the
+    # registration listener mid-search, and the chains they were handed
+    # out of the queue.
+    workers_joined: int = 0
+    stolen_chains: int = 0
+    # Evaluation gossip: store_delta frames forwarded to the fleet and
+    # the evaluations they carried.
+    gossip_messages: int = 0
+    gossip_entries: int = 0
+    # Adaptive budget transport: iterations deposited into / granted out
+    # of the coordinator-side pool.
+    budget_deposited: int = 0
+    budget_granted: int = 0
 
 
 class _Worker:
     """Coordinator-side handle of one connected daemon."""
 
-    __slots__ = ("addr", "sock", "tasks", "pid", "capacity")
+    __slots__ = ("addr", "sock", "tasks", "pid", "capacity", "joined")
 
-    def __init__(self, addr: str, sock: socket.socket, pid: int, capacity: int = 1):
+    def __init__(
+        self,
+        addr: str,
+        sock: socket.socket,
+        pid: int,
+        capacity: int = 1,
+        joined: bool = False,
+    ):
         self.addr = addr
         self.sock = sock
         self.tasks: set[int] = set()  # indexes of the in-flight chains
         self.pid = pid
         self.capacity = max(1, capacity)
+        self.joined = joined  # announced mid-search (chains it gets are "stolen")
 
 
 class DistributedExecutor:
@@ -189,19 +259,29 @@ class DistributedExecutor:
 
     def __init__(self) -> None:
         self.stats = DispatchStats()
+        # "host:port" of the registration listener once run() binds it
+        # (None when ctx.join_bind is unset or before run() starts).
+        self.join_address: str | None = None
 
     # -- connection management ---------------------------------------------
-    def _connect(self, entry: str, ctx: ExecutionContext, store_entries) -> _Worker:
+    def _connect(
+        self, entry: str, ctx: ExecutionContext, store_entries, *, joined: bool = False
+    ) -> _Worker:
         spec = ClusterSpec.parse(entry)
         host, port = parse_address(spec.address)
         sock = socket.create_connection((host, port), timeout=_CONNECT_TIMEOUT_S)
         sock.settimeout(_HANDSHAKE_TIMEOUT_S)
-        send_msg(sock, {"type": "hello", "version": PROTOCOL_VERSION})
+        # The registration address rides in the hello so every worker
+        # (and its logs) knows where siblings can join this search.
+        send_msg(
+            sock,
+            {"type": "hello", "version": PROTOCOL_VERSION, "join": self.join_address},
+        )
         ack = recv_msg(sock)
         if ack is None or ack.get("type") != "hello_ack":
             raise ProtocolError(f"worker {entry} did not acknowledge the handshake: {ack!r}")
         if ack.get("version") != PROTOCOL_VERSION:
-            raise ProtocolError(
+            raise VersionMismatchError(
                 f"worker {entry} speaks protocol v{ack.get('version')}, "
                 f"coordinator speaks v{PROTOCOL_VERSION}"
             )
@@ -214,7 +294,7 @@ class DistributedExecutor:
         # detected by EOF/reset, not by read timeouts.
         sock.settimeout(None)
         capacity = spec.effective_capacity(int(ack.get("capacity", 1)))
-        return _Worker(spec.address, sock, int(ack.get("pid", 0)), capacity)
+        return _Worker(spec.address, sock, int(ack.get("pid", 0)), capacity, joined=joined)
 
     def _drop(self, worker: _Worker, sel: selectors.BaseSelector, queue: deque) -> None:
         """Forget a dead worker, re-queueing its in-flight chains."""
@@ -235,6 +315,80 @@ class DistributedExecutor:
             self.stats.requeued_chains += 1
         worker.tasks.clear()
 
+    def _accept_join(
+        self,
+        listener: socket.socket,
+        ctx: ExecutionContext,
+        store: StrategyStore | None,
+        workers: list[_Worker],
+        sel: selectors.BaseSelector,
+    ) -> None:
+        """One registration on the join listener: handshake, connect back.
+
+        A bad joiner (garbage, version mismatch, unreachable advertise
+        address) is warned about and dropped -- it must never kill a
+        running search the way a stale *configured* worker does.
+        """
+        try:
+            conn, addr = listener.accept()
+        except OSError:
+            return
+        peer = f"{addr[0]}:{addr[1]}"
+        advertise = None
+        try:
+            try:
+                conn.settimeout(_JOIN_TIMEOUT_S)
+                msg = recv_msg(conn)
+                if msg is None or msg.get("type") != "join":
+                    raise ProtocolError(f"expected join, got {msg!r}")
+                ack = {"type": "join_ack", "version": PROTOCOL_VERSION}
+                if msg.get("version") != PROTOCOL_VERSION:
+                    ack["error"] = (
+                        f"worker speaks protocol v{msg.get('version')}, "
+                        f"coordinator speaks v{PROTOCOL_VERSION}"
+                    )
+                    send_msg(conn, ack)
+                    raise VersionMismatchError(ack["error"])
+                advertise = msg.get("advertise")
+                if not advertise:
+                    ack["error"] = (
+                        "join carries no advertise address (start the worker "
+                        "with --bind and --join)"
+                    )
+                    send_msg(conn, ack)
+                    raise ProtocolError(ack["error"])
+                ClusterSpec.parse(str(advertise))  # validate before acking
+                send_msg(conn, ack)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if any(w.addr == ClusterSpec.parse(str(advertise)).address for w in workers):
+                raise ProtocolError(
+                    f"advertised address {advertise} is already in the fleet"
+                )
+            # Connect back exactly like to a fixed-fleet worker, with the
+            # *current* store snapshot (start-of-session entries plus
+            # everything the fleet flushed since).
+            w = self._connect(
+                str(advertise),
+                ctx,
+                store.entries() if store is not None else [],
+                joined=True,
+            )
+        except (OSError, ProtocolError, ValueError) as exc:
+            warnings.warn(
+                f"worker join from {peer} failed ({exc!r}); continuing without it",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return
+        workers.append(w)
+        sel.register(w.sock, selectors.EVENT_READ, w)
+        self.stats.workers_joined += 1
+        self.stats.total_capacity += w.capacity
+
     # -- main loop ---------------------------------------------------------
     def run(self, ctx: ExecutionContext, specs: list[ChainSpec]) -> list[ChainResult]:
         if not ctx.cluster:
@@ -242,13 +396,10 @@ class DistributedExecutor:
                 "the distributed executor needs a cluster: set "
                 "ExecutionConfig(cluster=[\"host:port\", ...]) or REPRO_CLUSTER"
             )
-        if any(s.config.adaptive for s in specs):
-            warnings.warn(
-                "adaptive chain budgets are not transported by the distributed "
-                "executor; chains run on their fixed budgets",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        # Coordinator-side iteration-budget pool: remote stalled chains
+        # deposit into it, remote improving chains withdraw from it --
+        # the wire mirror of the local executors' shared-memory pool.
+        budget = LocalBudget()
 
         store: StrategyStore | None = None
         store_entries: list[tuple[int, float]] = []
@@ -260,10 +411,27 @@ class DistributedExecutor:
             )
             store_entries = store.entries()
 
+        # Bind the registration listener *before* the fixed fleet
+        # connects, so every hello already carries the join address.
+        listener: socket.socket | None = None
+        if ctx.join_bind is not None:
+            jhost, jport = parse_address(ctx.join_bind, allow_ephemeral=True)
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((jhost, jport))
+            listener.listen(8)
+            self.join_address = f"{jhost}:{listener.getsockname()[1]}"
+
         workers: list[_Worker] = []
         for addr in dedupe_cluster(ctx.cluster):
             try:
                 workers.append(self._connect(addr, ctx, store_entries))
+            except VersionMismatchError:
+                # A stale daemon is a deployment error: fail the whole
+                # search loudly instead of quietly degrading the fleet.
+                if listener is not None:
+                    listener.close()
+                raise
             except (OSError, ProtocolError) as exc:
                 self.stats.workers_failed += 1
                 self.stats.dead_addresses.append(addr)
@@ -273,6 +441,8 @@ class DistributedExecutor:
                     stacklevel=2,
                 )
         if not workers:
+            if listener is not None:
+                listener.close()
             raise RuntimeError(
                 f"no distributed workers reachable in cluster {list(ctx.cluster)}"
             )
@@ -282,6 +452,10 @@ class DistributedExecutor:
         sel = selectors.DefaultSelector()
         for w in workers:
             sel.register(w.sock, selectors.EVENT_READ, w)
+        if listener is not None:
+            # data=None marks the listener; every other key carries its
+            # _Worker handle.
+            sel.register(listener, selectors.EVENT_READ, None)
 
         queue: deque[int] = deque(range(len(specs)))
         results: list[ChainResult | None] = [None] * len(specs)
@@ -319,12 +493,22 @@ class DistributedExecutor:
                             pickled=True,
                         )
                     except OSError:
-                        queue.appendleft(task)
+                        # The chain this send failed for goes through the
+                        # same accounting and ordering as the worker's
+                        # other in-flight chains: hand it to the worker
+                        # first, then let _drop re-queue everything in
+                        # spec order and count it in requeued_chains.  (A
+                        # bare appendleft here used to skip the counter
+                        # and land *behind* the re-queued in-flight
+                        # chains, inverting spec-order re-dispatch.)
+                        w.tasks.add(task)
                         workers.remove(w)
                         self._drop(w, sel, queue)
                         progress = True
                         continue
                     w.tasks.add(task)
+                    if w.joined:
+                        self.stats.stolen_chains += 1
                     progress = True
 
         try:
@@ -336,6 +520,10 @@ class DistributedExecutor:
                         f"chain(s) outstanding (addresses: {self.stats.dead_addresses})"
                     )
                 for key, _ in sel.select(timeout=1.0):
+                    if key.data is None:  # the registration listener
+                        assert listener is not None
+                        self._accept_join(listener, ctx, store, workers, sel)
+                        continue
                     w: _Worker = key.data
                     try:
                         msg = recv_msg(w.sock)
@@ -356,6 +544,43 @@ class DistributedExecutor:
                             for fp, cost in evals:
                                 store.record(int(fp), float(cost))
                             self.stats.evals_flushed += store.flush()
+                            # Gossip: the rest of the fleet merges these
+                            # into their in-memory overlays as warm
+                            # entries, so sibling chains stop
+                            # re-simulating strategies this worker
+                            # already costed.
+                            delta = {
+                                "type": "store_delta",
+                                "entries": [
+                                    [int(fp), float(cost)] for fp, cost in evals
+                                ],
+                            }
+                            for other in workers:
+                                if other is w:
+                                    continue
+                                try:
+                                    send_msg(other.sock, delta)
+                                except OSError:
+                                    continue  # reaped on its next read event
+                                self.stats.gossip_messages += 1
+                                self.stats.gossip_entries += len(evals)
+                    elif kind == "budget_deposit":
+                        n = max(0, int(msg.get("n", 0)))
+                        budget.deposit(n)
+                        self.stats.budget_deposited += n
+                    elif kind == "budget_withdraw":
+                        grant = budget.withdraw(max(0, int(msg.get("n", 0))))
+                        self.stats.budget_granted += grant
+                        try:
+                            send_msg(
+                                w.sock,
+                                {"type": "budget_grant", "id": msg.get("id"), "n": grant},
+                            )
+                        except OSError:
+                            # The worker died between asking and the
+                            # answer; give the grant back to the pool.
+                            budget.deposit(grant)
+                            self.stats.budget_granted -= grant
                     elif kind == "best":
                         cost = float(msg["cost"])
                         if cost < best_cost:
@@ -405,6 +630,12 @@ class DistributedExecutor:
                     else:
                         raise ProtocolError(f"unexpected message {kind!r} from worker {w.addr}")
         finally:
+            if listener is not None:
+                try:
+                    sel.unregister(listener)
+                except (KeyError, ValueError):
+                    pass
+                listener.close()
             for w in workers:
                 try:
                     send_msg(w.sock, {"type": "bye"})

@@ -11,7 +11,36 @@ key.
 The protocol is versioned: the coordinator's ``hello`` carries
 :data:`PROTOCOL_VERSION` and a worker refuses mismatched coordinators,
 so a cluster of stale daemons fails loudly at handshake instead of
-corrupting a search.
+corrupting a search.  Version-mismatch errors
+(:class:`VersionMismatchError`) always name both sides' versions.
+
+Elasticity dialect (protocol v2)
+--------------------------------
+Version 2 added the elastic-fleet frames:
+
+``join`` / ``join_ack``
+    JSON registration handshake on a coordinator's *registration
+    listener* (the ``join_bind`` address a search or planning server
+    publishes).  A daemon started with ``--join host:port`` announces
+    ``{version, advertise, capacity, pid}``; the listener acks with its
+    version (plus an ``error`` string naming both versions on
+    mismatch).  A live search then connects back to the advertised
+    address as to any fixed-fleet worker and the joiner starts stealing
+    queued chains; a planning server instead records the address for
+    its next search.
+``store_delta``
+    JSON, coordinator -> workers: ``{entries: [[fingerprint, cost],
+    ...]}`` -- evaluations one worker just shipped home, forwarded to
+    the rest of the fleet mid-session.  Workers merge them into their
+    in-memory store overlays as warm entries, so sibling chains get
+    warm hits instead of re-simulating.
+``budget_deposit`` / ``budget_withdraw`` / ``budget_grant``
+    JSON adaptive-budget transport: workers deposit a stalled chain's
+    unused iterations into a coordinator-side pool
+    (``budget_deposit {n}``), request extra iterations for an improving
+    chain (``budget_withdraw {id, n}``), and receive the pool's answer
+    (``budget_grant {id, n}`` -- ``n`` may be 0).  Mirrors the
+    shared-memory budget pool of the local executors.
 
 Planning-service dialect
 ------------------------
@@ -56,11 +85,16 @@ __all__ = [
     "PROTOCOL_VERSION",
     "SERVE_PROTOCOL_VERSION",
     "ProtocolError",
+    "VersionMismatchError",
     "send_msg",
     "recv_msg",
 ]
 
-PROTOCOL_VERSION = 1
+# v1: hello/env/chain/result/best/error/bye, capacity announce.
+# v2: elastic fleets -- join/join_ack registration, store_delta
+#     evaluation gossip, budget_deposit/budget_withdraw/budget_grant
+#     adaptive-budget transport.
+PROTOCOL_VERSION = 2
 SERVE_PROTOCOL_VERSION = 1
 
 _TAG_JSON = b"J"
@@ -74,6 +108,15 @@ MAX_FRAME_BYTES = 1 << 30
 
 class ProtocolError(RuntimeError):
     """A malformed or version-mismatched frame."""
+
+
+class VersionMismatchError(ProtocolError):
+    """Handshake between different protocol versions.
+
+    A stale daemon in the cluster is a deployment error, not a transient
+    fault: the coordinator raises this instead of degrading to the
+    surviving workers, and the message names both sides' versions.
+    """
 
 
 def send_msg(sock: socket.socket, msg: dict, *, pickled: bool = False) -> None:

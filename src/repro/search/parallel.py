@@ -37,9 +37,16 @@ Determinism guarantees
    with timing.
 5. **Opt-in adaptive budgets.**  Chains with
    :class:`~repro.search.mcmc.MCMCConfig` ``adaptive=True`` share an
-   iteration-budget pool in-process and across the local pool.  The
-   distributed executor does not transport the pool; adaptive chains run
-   on their fixed budgets there (with a ``RuntimeWarning``).
+   iteration-budget pool in-process and across the local pool; the
+   distributed executor transports the same pool over the wire
+   (``budget_deposit``/``budget_withdraw`` frames against a
+   coordinator-side pool).  Like early stop, adaptive budgets are
+   timing-dependent by design on every executor.
+6. **Elastic fleets are result-neutral.**  ``join_bind`` lets the
+   distributed coordinator accept ``--join`` worker daemons mid-search,
+   and evaluation gossip forwards one worker's evaluations to the rest
+   of the fleet; both only change *where* and *how often* strategies
+   are simulated, never what a chain computes.
 
 Persistence
 -----------
@@ -97,6 +104,7 @@ def run_chains(
     store_shared: bool = False,
     executor: str = "auto",
     cluster: Sequence[str] = (),
+    join_bind: str | None = None,
 ) -> list[ChainResult]:
     """Run every chain in ``specs``; returns results in spec order.
 
@@ -112,6 +120,10 @@ def run_chains(
     across runs (``None`` disables persistence); ``store_shared=True``
     additionally reuses one process-wide open handle per shard instead of
     re-opening it per run (the planning server's resident-state mode).
+    ``join_bind`` (``"host:port"``, port 0 for kernel-assigned) makes the
+    distributed coordinator open a registration listener so
+    ``python -m repro.search.worker --join`` daemons can enter the fleet
+    mid-search; ``None`` keeps the fleet fixed.
     """
     profiler = profiler or OpProfiler()
     if not specs:
@@ -158,5 +170,6 @@ def run_chains(
         store_shared=store_shared,
         workers=max(1, workers),
         cluster=tuple(cluster),
+        join_bind=join_bind,
     )
     return get_executor(name).run(ctx, specs)
