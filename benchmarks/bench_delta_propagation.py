@@ -20,7 +20,11 @@ Inception / 16-device acceptance setting over two proposal workloads:
 Emits ``BENCH_delta_propagation.json`` (path overridable via
 ``REPRO_BENCH_JSON``) with per-(algorithm, workload) rows -- µs/proposal,
 resimulated-task fraction, fallback rate -- plus the headline
-tasks-touched ratio.  Gates asserted for CI's perf-smoke job:
+tasks-touched ratio.  The same payload is *appended* to the
+``bench_delta_propagation`` shard of the :mod:`repro.exp` results table
+(``REPRO_EXP_DIR``, default ``experiments/``), so the perf trajectory
+accumulates across runs instead of each run clobbering the last.
+Gates asserted for CI's perf-smoke job:
 
 * bitwise-identical costs across all three algorithms on both workloads;
 * ``propagate`` fallback rate == 0 on the smoke model;
@@ -147,6 +151,11 @@ def test_delta_propagation(benchmark, scale):
     out = os.environ.get("REPRO_BENCH_JSON") or "BENCH_delta_propagation.json"
     with open(out, "w", encoding="utf-8") as fh:
         json.dump({"rows": rows, "headline": headline}, fh, indent=2)
+    # Accumulating emission: one timestamped row per run in the results
+    # table, so the µs/proposal trajectory survives across runs/PRs.
+    from repro.exp.results import append_bench
+
+    append_bench("delta_propagation", {"rows": rows, "headline": headline})
 
     # CI gates.
     for workload in ("mutation", "resplice"):

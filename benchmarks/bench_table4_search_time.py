@@ -63,7 +63,9 @@ def test_table4_warm_cold_store(benchmark, scale, tmp_path):
     claim, complete in at most half the cold run's search wall time --
     nearly every proposal is answered from disk, so only the per-chain
     initial simulations remain.  When ``REPRO_BENCH_JSON`` is set the
-    rows are also dumped there for the nightly CI artifact.
+    rows are also dumped there for the nightly CI artifact; either way
+    they append to the ``bench_table4_warm_cold`` results-table shard
+    (``REPRO_EXP_DIR``) so the trajectory accumulates.
     """
     # Always a fresh directory: a REPRO_CACHE_DIR pre-warmed by earlier
     # runs would make the "cold" row warm and void the comparison.
@@ -76,6 +78,11 @@ def test_table4_warm_cold_store(benchmark, scale, tmp_path):
     if out:
         with open(out, "w", encoding="utf-8") as fh:
             json.dump(rows, fh, indent=2)
+    # Accumulating emission alongside the one-off artifact: the warm/cold
+    # trajectory appends to the repro.exp results table every run.
+    from repro.exp.results import append_bench
+
+    append_bench("table4_warm_cold", {"rows": rows})
     nostore, cold, warm = rows
     # Persistence is result-neutral: identical best cost everywhere.
     assert cold["best_iter_ms"] == pytest.approx(nostore["best_iter_ms"], abs=0.0, rel=0.0)

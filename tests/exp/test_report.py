@@ -1,0 +1,141 @@
+"""Regression report: deltas, breach classification, rendering."""
+
+import pytest
+
+from repro.exp.report import regression_rows, render_report
+from repro.exp.results import ExperimentResults
+from repro.exp.spec import ClusterPoint, ExperimentSpec
+
+
+def _row(run, trial, status="ok", cost_us=None, **extra):
+    row = {
+        "run": run,
+        "trial": trial,
+        "group": trial.rsplit("/", 3)[0],
+        "status": status,
+    }
+    if cost_us is not None:
+        row["cost_us"] = cost_us
+    row.update(extra)
+    return row
+
+
+def results(*rows):
+    return ExperimentResults(list(rows))
+
+
+class TestRegressionRows:
+    def test_unchanged_and_improved_are_ok(self):
+        res = results(
+            _row("r1", "a", cost_us=100.0),
+            _row("r1", "b", cost_us=100.0),
+            _row("r2", "a", cost_us=100.0),
+            _row("r2", "b", cost_us=80.0),
+        )
+        rows, breaches = regression_rows(res, run="r2", baseline="r1", threshold=0.05)
+        assert breaches == []
+        assert {r["trial"]: r["verdict"] for r in rows} == {"a": "ok", "b": "ok"}
+        by = {r["trial"]: r for r in rows}
+        assert by["b"]["cost_delta"] == "-20.00%"
+
+    def test_cost_growth_past_threshold_breaches(self):
+        res = results(_row("r1", "a", cost_us=100.0), _row("r2", "a", cost_us=110.0))
+        rows, breaches = regression_rows(res, run="r2", baseline="r1", threshold=0.05)
+        assert len(breaches) == 1
+        assert breaches[0]["verdict"] == "REGRESSION"
+        assert "+10.00%" in rows[0]["cost_delta"]
+
+    def test_growth_within_threshold_passes(self):
+        res = results(_row("r1", "a", cost_us=100.0), _row("r2", "a", cost_us=104.0))
+        _, breaches = regression_rows(res, run="r2", baseline="r1", threshold=0.05)
+        assert breaches == []
+
+    def test_ok_to_error_flip_breaches(self):
+        res = results(
+            _row("r1", "a", cost_us=100.0),
+            _row("r2", "a", status="error", error="Boom: z"),
+        )
+        _, breaches = regression_rows(res, run="r2", baseline="r1", threshold=0.05)
+        assert [b["verdict"] for b in breaches] == ["NEW-ERROR"]
+        assert breaches[0]["why"] == "Boom: z"
+
+    def test_always_erroring_trial_is_not_a_regression(self):
+        res = results(
+            _row("r1", "a", status="error", error="x"),
+            _row("r2", "a", status="error", error="x"),
+        )
+        rows, breaches = regression_rows(res, run="r2", baseline="r1", threshold=0.05)
+        assert breaches == [] and rows[0]["verdict"] == "error"
+
+    def test_missing_trial_breaches_but_new_trial_does_not(self):
+        res = results(
+            _row("r1", "gone", cost_us=100.0),
+            _row("r2", "added", cost_us=50.0),
+        )
+        rows, breaches = regression_rows(res, run="r2", baseline="r1", threshold=0.05)
+        verdicts = {r["trial"]: r["verdict"] for r in rows}
+        assert verdicts == {"gone": "MISSING", "added": "new"}
+        assert [b["trial"] for b in breaches] == ["gone"]
+
+
+class TestRenderReport:
+    def spec(self):
+        return ExperimentSpec(
+            name="demo",
+            models=("mlp",),
+            clusters=(ClusterPoint("p100", 2),),
+            regression_threshold=0.05,
+        )
+
+    def test_no_runs_yet(self):
+        report = render_report(results(), spec=self.spec())
+        assert "no runs recorded" in report.text
+        assert report.ok
+
+    def test_single_run_has_no_baseline_section(self):
+        report = render_report(results(_row("r1", "a", cost_us=100.0)), spec=self.spec())
+        assert report.run == "r1" and report.baseline is None
+        assert "no baseline run" in report.text
+        assert report.ok
+
+    def test_two_runs_render_deltas_and_defaults(self):
+        res = results(
+            _row("r1", "a", cost_us=100.0),
+            _row("r2", "a", cost_us=100.0),
+        )
+        report = render_report(res, spec=self.spec())
+        assert report.run == "r2" and report.baseline == "r1"
+        assert "regression deltas" in report.text
+        assert "no regressions" in report.text
+
+    def test_breaches_surface_in_text_and_flag(self):
+        res = results(
+            _row("r1", "a", cost_us=100.0),
+            _row("r2", "a", cost_us=200.0),
+        )
+        report = render_report(res, spec=self.spec())
+        assert not report.ok
+        assert "THRESHOLD BREACHES" in report.text
+        assert report.breaches[0]["verdict"] == "REGRESSION"
+
+    def test_error_rows_get_their_own_section(self):
+        res = results(_row("r1", "a", status="error", error="Boom: y"))
+        report = render_report(res, spec=self.spec())
+        assert "error rows in r1" in report.text and "Boom: y" in report.text
+
+    def test_threshold_override_beats_spec(self):
+        res = results(
+            _row("r1", "a", cost_us=100.0),
+            _row("r2", "a", cost_us=110.0),
+        )
+        assert not render_report(res, spec=self.spec()).ok  # spec's 5%
+        assert render_report(res, spec=self.spec(), threshold=0.5).ok
+
+    def test_explicit_run_and_baseline_selection(self):
+        res = results(
+            _row("r1", "a", cost_us=100.0),
+            _row("r2", "a", cost_us=500.0),
+            _row("r3", "a", cost_us=100.0),
+        )
+        report = render_report(res, spec=self.spec(), run="r3", baseline="r1")
+        assert report.ok and report.baseline == "r1"

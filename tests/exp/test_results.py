@@ -1,0 +1,129 @@
+"""ResultsTable persistence + ExperimentResults lazy aggregation."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.exp.results import ExperimentResults, ResultsTable, append_bench
+
+
+def _row(run, trial, status="ok", **extra):
+    base = {
+        "spec": "d",
+        "spec_name": "t",
+        "run": run,
+        "trial": trial,
+        "group": trial.rsplit("/", 3)[0],
+        "status": status,
+    }
+    base.update(extra)
+    return base
+
+
+class TestTable:
+    def test_append_then_load_round_trips(self, tmp_path):
+        table = ResultsTable(tmp_path)
+        n = table.append("abc", [_row("r1", "m/p100x2/mcmc/s0/cold/inprocess", cost_us=10.0)])
+        assert n == 1
+        rows = table.load("abc")
+        assert len(rows) == 1
+        assert rows[0]["cost_us"] == 10.0
+        assert rows[0]["v"] == 1 and rows[0]["recorded_unix"] > 0
+
+    def test_appends_accumulate_never_overwrite(self, tmp_path):
+        table = ResultsTable(tmp_path)
+        for i in range(3):
+            table.append("abc", [_row(f"r{i}", "t/x/b/s0/cold/inprocess")])
+        assert len(table.load("abc")) == 3
+
+    def test_missing_shard_loads_empty(self, tmp_path):
+        assert ResultsTable(tmp_path).load("nope") == []
+
+    def test_corrupt_lines_skipped_with_warning(self, tmp_path):
+        table = ResultsTable(tmp_path)
+        table.append("abc", [_row("r1", "a"), _row("r1", "b")])
+        path = table.shard_path("abc")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{torn json...\n")
+            fh.write('"not a dict"\n')
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            rows = table.load("abc")
+        assert [r["trial"] for r in rows] == ["a", "b"]
+
+    def test_shards_listing(self, tmp_path):
+        table = ResultsTable(tmp_path)
+        table.append("s1", [_row("r1", "a"), _row("r2", "b", status="error")])
+        append_bench("micro", {"rows": []}, root=tmp_path)
+        listing = {s["shard"]: s for s in table.shards()}
+        assert listing["s1"]["runs"] == 2 and listing["s1"]["errors"] == 1
+        assert listing["bench_micro"]["name"] == "micro"
+
+    def test_append_bench_accumulates(self, tmp_path):
+        append_bench("delta", {"headline": {"x": 1}}, root=tmp_path)
+        append_bench("delta", {"headline": {"x": 2}}, root=tmp_path)
+        rows = ResultsTable(tmp_path).load("bench_delta")
+        assert [r["headline"]["x"] for r in rows] == [1, 2]
+        assert all(r["bench"] == "delta" for r in rows)
+
+
+class TestResults:
+    def rows(self):
+        return [
+            _row("r1", "m/c/mcmc/s0/cold/inprocess", cost_us=100.0, wall_s=1.0,
+                 simulations=10, store_lookups=0, store_hits=0, store_warm_hits=0),
+            _row("r1", "m/c/mcmc/s0/warm/inprocess", cost_us=100.0, wall_s=0.5,
+                 simulations=2, store_lookups=10, store_hits=8, store_warm_hits=8),
+            _row("r1", "m/c/optcnn/s0/cold/inprocess", status="error", error="Boom: x"),
+            _row("r2", "m/c/mcmc/s0/cold/inprocess", cost_us=110.0, wall_s=1.0,
+                 simulations=10, store_lookups=0, store_hits=0, store_warm_hits=0),
+        ]
+
+    def test_runs_ordered_by_first_appearance(self):
+        res = ExperimentResults(self.rows())
+        assert res.runs == ("r1", "r2")
+        assert res.latest_run == "r2"
+        assert res.previous_run("r2") == "r1"
+        assert res.previous_run("r1") is None
+        assert res.previous_run("r9") is None
+
+    def test_outcome_views(self):
+        res = ExperimentResults(self.rows())
+        assert len(res.ok_rows) == 3 and len(res.error_rows) == 1
+        assert res.completed_trials("r1") == {
+            "m/c/mcmc/s0/cold/inprocess",
+            "m/c/mcmc/s0/warm/inprocess",
+            "m/c/optcnn/s0/cold/inprocess",
+        }
+        # Error rows drop out when resuming with retry: ok_only view.
+        assert "m/c/optcnn/s0/cold/inprocess" not in res.completed_trials("r1", ok_only=True)
+
+    def test_trial_outcomes_last_row_wins(self):
+        rows = self.rows() + [_row("r1", "m/c/optcnn/s0/cold/inprocess", cost_us=50.0)]
+        out = ExperimentResults(rows).trial_outcomes("r1")
+        assert out["m/c/optcnn/s0/cold/inprocess"]["status"] == "ok"
+
+    def test_group_rows_aggregate(self):
+        res = ExperimentResults(self.rows())
+        groups = {g["group"]: g for g in res.group_rows("r1")}
+        mcmc = groups["m/c/mcmc"]
+        assert mcmc["trials"] == 2 and mcmc["errors"] == 0
+        assert mcmc["best_ms"] == pytest.approx(0.1)
+        assert mcmc["simulations"] == 12
+        assert mcmc["store_hit_rate"] == pytest.approx(0.8)
+        assert mcmc["warm_hit_rate"] == pytest.approx(0.8)
+        optcnn = groups["m/c/optcnn"]
+        assert optcnn["errors"] == 1 and optcnn["best_ms"] is None
+
+    def test_group_rows_default_to_latest_run(self):
+        res = ExperimentResults(self.rows())
+        assert {g["group"] for g in res.group_rows()} == {"m/c/mcmc"}
+
+    def test_lazy_views_ignore_later_appends(self, tmp_path):
+        table = ResultsTable(tmp_path)
+        table.append("x", self.rows())
+        res = table.results("x")
+        assert res.runs == ("r1", "r2")
+        table.append("x", [_row("r3", "t")])
+        assert res.runs == ("r1", "r2")  # snapshot semantics
+        assert table.results("x").runs == ("r1", "r2", "r3")
