@@ -1,38 +1,57 @@
-"""Timeline-repair benchmark: full vs delta vs propagate (Table 4's engine).
+"""Timeline-repair benchmark: the algorithm x kernel grid (Table 4's engine).
 
-Measures the per-proposal cost of the three timeline algorithms on the
+Measures the per-proposal cost of the timeline algorithms on the
 Inception / 16-device acceptance setting over two proposal workloads:
 
 ``mutation``
     random configuration changes -- the regular MCMC proposal.  Their
     timeline impact is dense (a changed op's shifted times reach nearly
     every later task through data edges or device chains), so the true
-    change cone approaches the cut-time suffix and all three algorithms
-    do comparable task counts; ``propagate`` must still never touch
-    *more* tasks than ``delta``.
+    change cone approaches the cut-time suffix; under the numpy kernels
+    the cut-time algorithm hands saturated suffixes to the vectorized
+    full sweep (``DeltaStats.saturation_handoffs``).
 ``resplice``
-    identity reconfigurations -- the pure ``UpdateTaskGraph`` + repair
-    path, representative of splices whose timeline impact is localized.
-    Here the skip-unaffected-branches property pays in full: the
-    propagation engine repairs O(splice) tasks while the cut-time
-    algorithm re-simulates the whole suffix after the earliest change.
+    identity reconfigurations -- re-submitting an operation's current
+    config, representative of proposals that collide with the incumbent
+    (common in small per-op config spaces) and of re-applied configs in
+    distributed search gossip.  The ``auto`` router detects the empty
+    change cone *before* the splice and skips the machinery outright;
+    the named algorithms run the full splice + repair and show what that
+    detection saves.
+
+Arms are (algorithm, kernels) pairs: every algorithm under the numpy
+kernels, plus ``delta``/``auto`` under ``REPRO_SIM_KERNELS=python`` --
+``(delta, python)`` is the pre-kernel default and the baseline the
+headline compares against; ``(auto, numpy)`` is the shipped default.
+Every arm drives an identical warmup pass (different seed) before the
+timed pass, so ckey-rank interning has converged and
+``TaskArrays.rank_renumbers`` must *decay* between passes.
 
 Emits ``BENCH_delta_propagation.json`` (path overridable via
-``REPRO_BENCH_JSON``) with per-(algorithm, workload) rows -- µs/proposal,
-resimulated-task fraction, fallback rate -- plus the headline
-tasks-touched ratio.  The same payload is *appended* to the
+``REPRO_BENCH_JSON``) with per-(algorithm, kernels, workload) rows --
+µs/proposal, resimulated-task fraction, fallback rate -- plus headline
+ratios.  The same payload is *appended* to the
 ``bench_delta_propagation`` shard of the :mod:`repro.exp` results table
 (``REPRO_EXP_DIR``, default ``experiments/``), so the perf trajectory
 accumulates across runs instead of each run clobbering the last.
 Gates asserted for CI's perf-smoke job:
 
-* bitwise-identical costs across all three algorithms on both workloads;
-* ``propagate`` fallback rate == 0 on the smoke model;
+* bitwise-identical costs across every (algorithm, kernels) arm on both
+  workloads;
+* ``auto``'s fallback rate == 0 (zero auto-route fallbacks) and
+  ``propagate``'s fallback rate == 0 on the smoke model;
 * ``propagate`` touches strictly fewer tasks than ``delta`` on each
-  workload, and >= 1.5x fewer over the combined proposal set.
+  workload, and >= 1.5x fewer over the combined proposal set;
+* rank renumbers decay: the timed pass interns no more ranks than the
+  warmup pass;
+* the headline -- the geometric mean over workloads of µs/proposal,
+  old default ``(delta, python)`` vs new default ``(auto, numpy)`` --
+  is >= 5x (the tentpole's 10x target is reported alongside), with the
+  mutation workload independently gated against regression.
 """
 
 import json
+import math
 import os
 
 import numpy as np
@@ -49,9 +68,13 @@ from conftest import run_once
 _SMOKE_MODEL = "inception_v3"
 _SMOKE_DEVICES = 16
 
+# (algorithm, kernels) arms.  (delta, python) is the pre-kernel default
+# (the headline baseline); (auto, numpy) is the shipped default.
+_ARMS = [(alg, "numpy") for alg in ALGORITHMS] + [("delta", "python"), ("auto", "python")]
+
 
 def _proposals(graph, topo, steps, seed):
-    """A deterministic mixed proposal sequence shared by every algorithm."""
+    """A deterministic mixed proposal sequence shared by every arm."""
     space = ConfigSpace(graph, topo)
     rng = np.random.default_rng(seed)
     seq = []
@@ -64,29 +87,40 @@ def _proposals(graph, topo, steps, seed):
     return seq
 
 
-def _drive(graph, topo, algorithm, seq):
-    """Run the sequence; returns per-workload stats rows keyed by workload."""
+def _play(sim, seq, workload):
+    """Apply one workload's slice of the sequence; returns (costs, n)."""
+    costs = []
+    for kind, oid, cfg in seq:
+        if kind != workload:
+            continue
+        if cfg is None:
+            cfg = sim.strategy[oid]
+        costs.append(sim.reconfigure(oid, cfg))
+    return costs
+
+
+def _drive(graph, topo, algorithm, kernels_mode, warm_seq, seq):
+    """Run warmup + timed sequence; returns per-workload rows by workload."""
     import time
 
+    os.environ["REPRO_SIM_KERNELS"] = kernels_mode
     sim = Simulator(graph, topo, expert_strategy(graph, topo), OpProfiler(), algorithm=algorithm)
+    # Warmup: converges ckey-rank interning (and the branch caches of the
+    # driven code paths) on a disjoint proposal prefix.
+    for workload in ("mutation", "resplice"):
+        _play(sim, warm_seq, workload)
+    renumbers_warm = sim.task_graph.arrays.rank_renumbers
     out = {}
     for workload in ("mutation", "resplice"):
-        t0 = time.perf_counter()
-        costs = []
         before = sim.delta_stats
         inv0, resim0 = before.invocations, before.tasks_resimulated
         total0 = before.tasks_total
         fb0 = before.fallbacks + before.guard_fallbacks
-        n = 0
-        for kind, oid, cfg in seq:
-            if kind != workload:
-                continue
-            if cfg is None:
-                cfg = sim.strategy[oid]
-            costs.append(sim.reconfigure(oid, cfg))
-            n += 1
+        t0 = time.perf_counter()
+        costs = _play(sim, seq, workload)
         wall = time.perf_counter() - t0
         st = sim.delta_stats
+        n = len(costs)
         # "full" keeps no DeltaStats: it re-simulates everything by definition.
         if algorithm == "full":
             resim, total, fb_rate = None, None, 0.0
@@ -98,6 +132,7 @@ def _drive(graph, topo, algorithm, seq):
             )
         out[workload] = {
             "algorithm": algorithm,
+            "kernels": kernels_mode,
             "workload": workload,
             "proposals": n,
             "us_per_proposal": round(wall / max(1, n) * 1e6, 1),
@@ -106,37 +141,74 @@ def _drive(graph, topo, algorithm, seq):
             "fallback_rate": round(fb_rate, 4),
             "costs": costs,
         }
-    return out
+    final = sim.delta_stats
+    meta = {
+        "rank_renumbers_warm": renumbers_warm,
+        "rank_renumbers_timed": sim.task_graph.arrays.rank_renumbers - renumbers_warm,
+        "auto_noop": final.auto_noop,
+        "auto_propagate": final.auto_propagate,
+        "auto_delta": final.auto_delta,
+        "saturation_handoffs": final.saturation_handoffs,
+        "fallbacks": final.fallbacks,
+        "guard_fallbacks": final.guard_fallbacks,
+    }
+    return out, meta
 
 
 def test_delta_propagation(benchmark, scale):
     graph, _ = bench_model(_SMOKE_MODEL, scale)
     topo = cluster("p100", min(_SMOKE_DEVICES, scale.max_gpus_p100))
     steps = 20 if scale.name == "ci" else 50
+    warm_seq = _proposals(graph, topo, steps, seed=43)
     seq = _proposals(graph, topo, steps, seed=42)
+    saved_kernels = os.environ.get("REPRO_SIM_KERNELS")
 
     def experiment():
-        return {alg: _drive(graph, topo, alg, seq) for alg in ALGORITHMS}
+        results, metas = {}, {}
+        try:
+            for alg, mode in _ARMS:
+                results[(alg, mode)], metas[(alg, mode)] = _drive(
+                    graph, topo, alg, mode, warm_seq, seq
+                )
+        finally:
+            if saved_kernels is None:
+                os.environ.pop("REPRO_SIM_KERNELS", None)
+            else:
+                os.environ["REPRO_SIM_KERNELS"] = saved_kernels
+        return results, metas
 
-    results = run_once(benchmark, experiment)
+    results, metas = run_once(benchmark, experiment)
 
-    # Bitwise cost identity across algorithms, per workload.
+    # Bitwise cost identity across every (algorithm, kernels) arm.
     for workload in ("mutation", "resplice"):
-        ref = results["full"][workload]["costs"]
-        for alg in ALGORITHMS:
-            assert results[alg][workload]["costs"] == ref, (
-                f"{alg} diverged from full on the {workload} workload"
+        ref = results[("full", "numpy")][workload]["costs"]
+        for arm in _ARMS:
+            assert results[arm][workload]["costs"] == ref, (
+                f"{arm} diverged from full on the {workload} workload"
             )
 
     rows = []
-    for alg in ("full", "delta", "propagate"):
+    for arm in _ARMS:
         for workload in ("mutation", "resplice"):
-            row = dict(results[alg][workload])
+            row = dict(results[arm][workload])
             row.pop("costs")
             rows.append(row)
 
-    prop_touched = sum(results["propagate"][w]["tasks_resimulated"] for w in ("mutation", "resplice"))
-    delta_touched = sum(results["delta"][w]["tasks_resimulated"] for w in ("mutation", "resplice"))
+    def us(alg, mode, workload):
+        return results[(alg, mode)][workload]["us_per_proposal"]
+
+    ratios = {
+        w: us("delta", "python", w) / max(0.1, us("auto", "numpy", w))
+        for w in ("mutation", "resplice")
+    }
+    headline_ratio = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+    prop_touched = sum(
+        results[("propagate", "numpy")][w]["tasks_resimulated"] for w in ("mutation", "resplice")
+    )
+    delta_touched = sum(
+        results[("delta", "numpy")][w]["tasks_resimulated"] for w in ("mutation", "resplice")
+    )
+    auto_meta = metas[("auto", "numpy")]
     headline = {
         "model": _SMOKE_MODEL,
         "devices": topo.num_devices,
@@ -144,9 +216,17 @@ def test_delta_propagation(benchmark, scale):
         "propagate_tasks_touched": prop_touched,
         "delta_tasks_touched": delta_touched,
         "touched_ratio_delta_over_propagate": round(delta_touched / max(1, prop_touched), 2),
+        "mutation_speedup_vs_scalar_default": round(ratios["mutation"], 2),
+        "resplice_speedup_vs_scalar_default": round(ratios["resplice"], 2),
+        "headline_speedup_geomean": round(headline_ratio, 2),
+        "headline_target": 10.0,
+        "auto_noop": auto_meta["auto_noop"],
+        "auto_propagate": auto_meta["auto_propagate"],
+        "auto_delta": auto_meta["auto_delta"],
+        "saturation_handoffs": auto_meta["saturation_handoffs"],
     }
-    print_table(rows, "Timeline repair -- full vs delta vs propagate (us/proposal)")
-    print_table([headline], "Headline: tasks touched, delta vs propagate")
+    print_table(rows, "Timeline repair -- algorithm x kernels (us/proposal)")
+    print_table([headline], "Headline: us/proposal, (auto, numpy) vs (delta, python)")
 
     out = os.environ.get("REPRO_BENCH_JSON") or "BENCH_delta_propagation.json"
     with open(out, "w", encoding="utf-8") as fh:
@@ -159,8 +239,19 @@ def test_delta_propagation(benchmark, scale):
 
     # CI gates.
     for workload in ("mutation", "resplice"):
-        p = results["propagate"][workload]
-        d = results["delta"][workload]
+        p = results[("propagate", "numpy")][workload]
+        d = results[("delta", "numpy")][workload]
+        a = results[("auto", "numpy")][workload]
         assert p["fallback_rate"] == 0.0, (workload, p)
+        assert a["fallback_rate"] == 0.0, (workload, a)  # zero auto-route fallbacks
         assert p["tasks_resimulated"] < d["tasks_resimulated"], (workload, p, d)
+    assert auto_meta["fallbacks"] == 0 and auto_meta["guard_fallbacks"] == 0, auto_meta
     assert headline["touched_ratio_delta_over_propagate"] >= 1.5, headline
+    # Rank interning converged during warmup: the timed pass must not
+    # renumber more than the warmup pass did.
+    for arm, meta in metas.items():
+        assert meta["rank_renumbers_timed"] <= meta["rank_renumbers_warm"], (arm, meta)
+    # The headline: >= 5x per-proposal over the pre-kernel default on the
+    # combined workload (geometric mean), without a mutation regression.
+    assert headline["headline_speedup_geomean"] >= 5.0, headline
+    assert headline["mutation_speedup_vs_scalar_default"] >= 0.9, headline

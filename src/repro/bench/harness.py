@@ -67,9 +67,11 @@ class BenchScale:
     search_executor: str = "auto"
     search_cluster: tuple[str, ...] = ()
     # Timeline algorithm driving every search's simulator
-    # ("full"/"delta"/"propagate"); result-neutral (bit-identical
-    # timelines), pure throughput.  REPRO_SIM_ALGO overrides.
-    sim_algorithm: str = "delta"
+    # ("auto"/"full"/"delta"/"propagate"); result-neutral (bit-identical
+    # timelines), pure throughput.  "auto" routes each proposal to the
+    # cheapest repair (identity no-op / propagate / cut-time delta).
+    # REPRO_SIM_ALGO overrides.
+    sim_algorithm: str = "auto"
 
 
 CI_SCALE = BenchScale(
@@ -108,8 +110,8 @@ def current_scale() -> BenchScale:
     ``REPRO_CLUSTER`` select the chain executor and its worker-daemon
     cluster (comma-separated ``host:port[*capacity]`` list), and
     ``REPRO_SIM_ALGO`` picks the timeline algorithm
-    (``full``/``delta``/``propagate``) -- results are invariant to all of
-    these; only wall time and cache accounting change.
+    (``auto``/``full``/``delta``/``propagate``) -- results are invariant
+    to all of these; only wall time and cache accounting change.
     """
     scale = FULL_SCALE if os.environ.get("REPRO_FULL") == "1" else CI_SCALE
     overrides = {}

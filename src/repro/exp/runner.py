@@ -227,7 +227,9 @@ class ExperimentRunner:
             if trial.store_mode == "warm"
             else StoreConfig(root=None)
         )
-        return cfg.replace(seed=trial.seed, execution=execution, store=store)
+        return cfg.replace(
+            seed=trial.seed, execution=execution, store=store, algorithm=trial.algorithm
+        )
 
     # -- trial execution ---------------------------------------------------
     def _execute_trial(self, trial: Trial) -> dict:

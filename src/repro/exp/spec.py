@@ -1,7 +1,8 @@
 """Declarative experiment specs: a grid of trials, frozen and serializable.
 
 An :class:`ExperimentSpec` declares the paper's evaluation shape -- models
-x clusters x search backends x seeds x store warm/cold x executors -- as
+x clusters x search backends x seeds x store warm/cold x executors x
+timeline algorithms -- as
 one frozen, JSON-round-trippable object, and expands it into a
 deterministic tuple of :class:`Trial`\\ s with *stable* trial ids: the id
 is a pure function of the trial's axis values, so re-running an edited
@@ -102,12 +103,13 @@ class Trial:
     seed: int
     store_mode: str
     executor: str
+    algorithm: str = "auto"
 
     @property
     def trial_id(self) -> str:
         return (
             f"{self.model}/{self.cluster.label}/{self.backend}"
-            f"/s{self.seed}/{self.store_mode}/{self.executor}"
+            f"/s{self.seed}/{self.store_mode}/{self.executor}/{self.algorithm}"
         )
 
     @property
@@ -126,6 +128,7 @@ class Trial:
             "seed": self.seed,
             "store_mode": self.store_mode,
             "executor": self.executor,
+            "algorithm": self.algorithm,
         }
 
 
@@ -135,10 +138,13 @@ class ExperimentSpec:
 
     The grid is the full cross product of the axes, expanded in a fixed
     order (models, then clusters, backends, seeds, store modes,
-    executors) by :meth:`trials`.  ``search`` is the *base*
+    executors, algorithms) by :meth:`trials`.  ``search`` is the *base*
     :class:`~repro.plan.SearchConfig` every trial derives from -- the
-    runner replaces the seed, store, and executor per trial; everything
-    else (budget, inits, algorithm, backend options) applies grid-wide.
+    runner replaces the seed, store, executor, and timeline algorithm
+    per trial; everything else (budget, inits, backend options) applies
+    grid-wide.  The ``algorithms`` axis is result-neutral (the timeline
+    algorithms are bit-identical), so its rows double as a free
+    cross-check: same group, same cost, different wall time.
     """
 
     name: str
@@ -148,6 +154,7 @@ class ExperimentSpec:
     seeds: tuple[int, ...] = (0,)
     store_modes: tuple[str, ...] = ("cold",)
     executors: tuple[str, ...] = ("inprocess",)
+    algorithms: tuple[str, ...] = ("auto",)
     model_scale: str = "ci"
     # Loopback worker daemons the runner spawns when a trial's executor is
     # "distributed" and ``search.execution.cluster`` names no addresses.
@@ -170,6 +177,7 @@ class ExperimentSpec:
             ("seeds", self.seeds),
             ("store_modes", self.store_modes),
             ("executors", self.executors),
+            ("algorithms", self.algorithms),
         ):
             if not values:
                 raise ValueError(f"ExperimentSpec axis {axis!r} must be non-empty")
@@ -177,6 +185,13 @@ class ExperimentSpec:
             if mode not in STORE_MODES:
                 raise ValueError(
                     f"unknown store mode {mode!r}; valid modes: {STORE_MODES}"
+                )
+        from repro.sim.simulator import ALGORITHMS
+
+        for algo in self.algorithms:
+            if algo not in ALGORITHMS:
+                raise ValueError(
+                    f"unknown timeline algorithm {algo!r}; valid: {ALGORITHMS}"
                 )
         if len(set(t.trial_id for t in self.trials())) != len(self.trials()):
             raise ValueError("duplicate axis values collapse trial ids; deduplicate the spec")
@@ -197,17 +212,19 @@ class ExperimentSpec:
                     for seed in self.seeds:
                         for mode in self.store_modes:
                             for executor in self.executors:
-                                out.append(
-                                    Trial(
-                                        model=model,
-                                        model_scale=self.model_scale,
-                                        cluster=cp,
-                                        backend=backend,
-                                        seed=seed,
-                                        store_mode=mode,
-                                        executor=executor,
+                                for algorithm in self.algorithms:
+                                    out.append(
+                                        Trial(
+                                            model=model,
+                                            model_scale=self.model_scale,
+                                            cluster=cp,
+                                            backend=backend,
+                                            seed=seed,
+                                            store_mode=mode,
+                                            executor=executor,
+                                            algorithm=algorithm,
+                                        )
                                     )
-                                )
         return tuple(out)
 
     # -- serialization -----------------------------------------------------
@@ -220,6 +237,7 @@ class ExperimentSpec:
             "seeds": list(self.seeds),
             "store_modes": list(self.store_modes),
             "executors": list(self.executors),
+            "algorithms": list(self.algorithms),
             "model_scale": self.model_scale,
             "distributed_workers": self.distributed_workers,
             "trial_timeout_s": self.trial_timeout_s,
@@ -231,7 +249,7 @@ class ExperimentSpec:
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         _check_keys(cls, data, "ExperimentSpec")
         kwargs: dict[str, Any] = dict(data)
-        for name in ("models", "backends", "seeds", "store_modes", "executors"):
+        for name in ("models", "backends", "seeds", "store_modes", "executors", "algorithms"):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
         if "clusters" in kwargs:

@@ -156,13 +156,15 @@ class SearchConfig:
     early_stop: EarlyStopConfig = EarlyStopConfig()
     inits: tuple[str, ...] = ("data_parallel", "random")
     seed: int = 0
-    # Timeline algorithm the chains' simulators run: "delta" (cut-time
-    # incremental repair, the default), "propagate" (change propagation
-    # with branch skipping, see repro.sim.propagate), or "full"
-    # (from-scratch).  Result-neutral -- all three are bit-identical --
-    # and serialized like every other field, so remote ChainSpec dispatch
-    # honors it.
-    algorithm: str = "delta"
+    # Timeline algorithm the chains' simulators run: "auto" (the
+    # default: per-proposal routing between an identity no-op, change
+    # propagation, and the cut-time repair -- see repro.sim.simulator),
+    # "delta" (cut-time incremental repair), "propagate" (change
+    # propagation with branch skipping, see repro.sim.propagate), or
+    # "full" (from-scratch).  Result-neutral -- all four are
+    # bit-identical -- and serialized like every other field, so remote
+    # ChainSpec dispatch honors it.
+    algorithm: str = "auto"
     beta_scale: float = 50.0
     backend_options: dict = field(default_factory=dict)
 

@@ -36,15 +36,24 @@ integer *rank* with the defining property ``rank(a) < rank(b)`` iff
 ``a < b`` for all interned keys -- heaps ordered by ``(time, rank)``
 therefore pop in exactly the ``(time, ckey)`` order of the reference
 algorithms, keeping timelines bit-identical.  Interning a key that sorts
-between existing ones renumbers the tail of the table (and refreshes the
-live ``rank`` column); the ckey universe of a search problem is finite,
-so renumbering frequency decays to zero as the table saturates.
+between existing ones shifts every key at or past the insertion point by
+*exactly one* rank, so a renumber is two in-place ``+1`` bumps (one over
+the rank table, one over the live ``rank`` column) rather than a tail
+re-dict plus a whole-column rescan; :attr:`~TaskArrays.rank_renumbers`
+counts them, and the ckey universe of a search problem is finite, so
+renumbering frequency decays to zero as the table saturates (the
+``bench_delta_propagation`` benchmark asserts the decay).
 """
 
 from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
+
+try:  # numpy accelerates the renumber bumps; the loops below are the gate
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
 
 __all__ = ["TaskArrays"]
 
@@ -69,8 +78,10 @@ class TaskArrays:
         "outs",
         "slot_of",
         "free",
+        "rank_renumbers",
         "_sorted_ckeys",
-        "_ckey_rank",
+        "_ckey_idx",
+        "_idx_rank",
     )
 
     def __init__(self) -> None:
@@ -85,30 +96,53 @@ class TaskArrays:
         self.outs: list[list[int]] = []  # per-slot successor slots (CSR row)
         self.slot_of: dict[int, int] = {}  # live task id -> slot
         self.free: list[int] = []  # recycled slots (LIFO)
+        self.rank_renumbers = 0  # mid-table inserts; decays to 0 at saturation
         self._sorted_ckeys: list[tuple] = []  # all distinct ckeys, sorted
-        self._ckey_rank: dict[tuple, int] = {}
+        # ckey -> a stable per-key index into _idx_rank (its insertion
+        # number, never renumbered); _idx_rank[j] is key j's *current*
+        # rank.  Keeping ranks in a flat column instead of dict values
+        # makes a renumber one vectorizable += over integers.
+        self._ckey_idx: dict[tuple, int] = {}
+        self._idx_rank = array("q")
 
     # -- ckey interning ----------------------------------------------------
+    def rank_of(self, ckey: tuple) -> int:
+        """Current rank of an already-interned key."""
+        return self._idx_rank[self._ckey_idx[ckey]]
+
     def intern(self, ckey: tuple) -> int:
         """The rank of ``ckey``: order-preserving over all interned keys."""
-        r = self._ckey_rank.get(ckey)
-        if r is not None:
-            return r
+        j = self._ckey_idx.get(ckey)
+        if j is not None:
+            return self._idx_rank[j]
         idx = bisect_left(self._sorted_ckeys, ckey)
         self._sorted_ckeys.insert(idx, ckey)
+        self._ckey_idx[ckey] = len(self._idx_rank)
+        self._idx_rank.append(idx)
         if idx == len(self._sorted_ckeys) - 1:
             # Appending at the tail keeps every existing rank valid.
-            self._ckey_rank[ckey] = idx
             return idx
-        # Mid-table insert: renumber the tail and refresh live slots whose
-        # key now ranks one higher.  Rare once the key universe saturates.
-        ranks = self._ckey_rank
-        for i in range(idx, len(self._sorted_ckeys)):
-            ranks[self._sorted_ckeys[i]] = i
-        rank_col, ckeys = self.rank, self.ckey
-        for slot, ck in enumerate(ckeys):
-            if ck is not None and rank_col[slot] >= idx:
-                rank_col[slot] = ranks[ck]
+        # Mid-table insert: every existing key at or past idx -- and every
+        # live slot holding one -- moves up by exactly one rank, so the
+        # renumber is two in-place +1 bumps over integer columns (the new
+        # key's own entry was appended above, after the bump cutoff is
+        # computed, so it must be excluded by position, not value).
+        self.rank_renumbers += 1
+        if _np is not None:
+            table = _np.frombuffer(self._idx_rank, dtype=_np.int64)[:-1]
+            table[table >= idx] += 1
+            if len(self.rank):
+                col = _np.frombuffer(self.rank, dtype=_np.int64)
+                col[col >= idx] += 1
+        else:  # pragma: no cover - numpy-less fallback, same semantics
+            table = self._idx_rank
+            for j in range(len(table) - 1):
+                if table[j] >= idx:
+                    table[j] += 1
+            col = self.rank
+            for slot in range(len(col)):
+                if col[slot] >= idx:
+                    col[slot] += 1
         return idx
 
     # -- slot lifecycle ----------------------------------------------------
@@ -203,14 +237,14 @@ class TaskArrays:
             assert self.kind[slot] == int(t.kind), f"kind mismatch for task {tid}"
             assert self.nbytes[slot] == t.nbytes, f"nbytes mismatch for task {tid}"
             assert self.ckey[slot] == t.ckey, f"ckey mismatch for task {tid}"
-            assert self.rank[slot] == self._ckey_rank[t.ckey]
+            assert self.rank[slot] == self.rank_of(t.ckey)
             got_ins = sorted(self.tid[p] for p in self.ins[slot])
             got_outs = sorted(self.tid[s] for s in self.outs[slot])
             assert got_ins == sorted(t.ins), f"ins mismatch for task {tid}"
             assert got_outs == sorted(t.outs), f"outs mismatch for task {tid}"
         # Rank table is a bijection consistent with ckey ordering.
         for a, b in zip(self._sorted_ckeys, self._sorted_ckeys[1:]):
-            assert a < b and self._ckey_rank[a] < self._ckey_rank[b]
+            assert a < b and self.rank_of(a) < self.rank_of(b)
         for slot in self.free:
             assert self.tid[slot] == -1
             assert not self.ins[slot] and not self.outs[slot]

@@ -42,11 +42,16 @@ impact is localized (identity re-splices; absorbed changes) repair
 ~100x fewer tasks at ~10x lower wall cost, while dense random mutations
 -- whose true change cone approaches the suffix, the regime this
 variant is tuned for -- stay at task parity with a slightly higher
-constant factor.  The cut-time variant therefore remains the default,
-the guard's safety net, and the reference the property suite checks
-both incremental algorithms against (all three algorithms produce
-bit-identical timelines, ``tol=0``).  A defensive check falls back to
-full simulation if a suffix task ever becomes ready before the cut
+constant factor.  The default ``algorithm="auto"`` router therefore
+dispatches dense mutations here (and localized splices to
+``propagate``); this variant is also the guard's safety net and the
+reference the property suite checks the incremental algorithms against
+(all four algorithms produce bit-identical timelines, ``tol=0``).
+Under the numpy kernels a suffix that saturates the graph (>= half of
+all tasks) is handed to the vectorized full sweep -- the ``t_cut -> 0``
+limit of this algorithm, counted in
+:attr:`DeltaStats.saturation_handoffs`.  A defensive check falls back
+to full simulation if a suffix task ever becomes ready before the cut
 (never observed; counted in :attr:`DeltaStats.fallbacks`).
 
 Like the full algorithm, the suffix sweep runs on the flat
@@ -61,10 +66,15 @@ import heapq
 from bisect import bisect_left
 from dataclasses import dataclass
 
+from repro.sim import kernels
 from repro.sim.full_sim import Timeline, full_simulate
 from repro.sim.taskgraph import TaskGraph
 
 __all__ = ["DeltaStats", "delta_simulate"]
+
+#: Suffix fraction at which the cut-time repair hands off to the full
+#: kernel sweep (see the saturation handoff in :func:`delta_simulate`).
+_SATURATION_FRAC = 0.5
 
 
 @dataclass
@@ -87,6 +97,10 @@ class DeltaStats:
     propagated_tasks: int = 0  # tasks whose times a propagation pass recomputed
     branch_skips: int = 0  # propagation pops whose triple was unchanged
     guard_fallbacks: int = 0  # cascade-guard handoffs to the cut-time algorithm
+    auto_propagate: int = 0  # auto-router proposals sent to change propagation
+    auto_delta: int = 0  # auto-router proposals sent to the cut-time algorithm
+    auto_noop: int = 0  # auto-router proposals short-circuited (identity config)
+    saturation_handoffs: int = 0  # saturated suffixes handed to the full kernel
 
     @property
     def resim_fraction(self) -> float:
@@ -113,14 +127,15 @@ def _fallback(tg: TaskGraph, tl: Timeline, stats: DeltaStats | None) -> Timeline
 def delta_simulate(
     tg: TaskGraph,
     tl: Timeline,
-    removed: dict[int, int],
+    removed: dict,
     dirty: set[int],
     stats: DeltaStats | None = None,
 ) -> Timeline:
     """Repair ``tl`` in place after a task-graph splice; returns ``tl``.
 
-    ``removed`` maps removed task id -> device id; ``dirty`` is the seed
-    set -- both come from :meth:`TaskGraph.replace_config`.
+    ``removed`` maps removed task id -> the removed
+    :class:`~repro.sim.taskgraph.Task`; ``dirty`` is the seed set --
+    both come from :meth:`TaskGraph.replace_config`.
     """
     if stats is not None:
         stats.invocations += 1
@@ -207,7 +222,43 @@ def delta_simulate(
         stats.tasks_resimulated += len(suffix)
     suffix_slots = {slot_of[tid] for tid in suffix}
 
+    # ---- saturation handoff ----------------------------------------------
+    # When the suffix covers most of the graph (dense mutations routinely
+    # re-simulate ~80% of tasks), the cut-time machinery buys nothing over
+    # Algorithm 1 while still paying for truncation and boundary seeding;
+    # the vectorized full sweep is strictly cheaper.  Hand off at the
+    # t_cut -> 0 limit of this algorithm -- the result is bit-identical by
+    # the same argument as the defensive fallback, so this is a pure
+    # routing decision.  Only taken on the kernel path: the scalar
+    # reference keeps the pure cut-time behavior the property suite and
+    # the paper's Table 4 accounting describe.
+    if (
+        kernels.kernels_enabled()
+        and len(suffix_slots) >= _SATURATION_FRAC * len(tg.tasks)
+    ):
+        if stats is not None:
+            stats.saturation_handoffs += 1
+            stats.tasks_resimulated += len(tg.tasks) - len(suffix)
+        fresh = full_simulate(tg)
+        tl.ready, tl.start, tl.end = fresh.ready, fresh.start, fresh.end
+        tl.device_order = fresh.device_order
+        tl.makespan = fresh.makespan
+        return tl
+
     # ---- Algorithm 1 over the suffix ----------------------------------------
+    if kernels.kernels_enabled():
+        # Bit-identical level-batched drain (repro.sim.kernels); the
+        # scalar sweep below is the REPRO_SIM_KERNELS=python reference.
+        scheduled, mk, ok = kernels.suffix_drain(
+            tg, suffix_slots, t_cut, ready, start, end, order, dev_last_end, makespan
+        )
+        if not ok or scheduled != len(suffix_slots):
+            # Pre-cut pop (prefix-safety violation), a dependency cycle,
+            # or bookkeeping drift: re-run authoritatively.
+            return _fallback(tg, tl, stats)
+        tl.makespan = mk
+        return tl
+
     heap: list[tuple[float, int, int]] = []
     indeg: dict[int, int] = {}
     sready: dict[int, float] = {}

@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 import sys
 
+from repro.sim import kernels
 from repro.sim.taskgraph import TaskGraph
 
 __all__ = ["Timeline", "full_simulate"]
@@ -116,7 +117,14 @@ def full_simulate(tg: TaskGraph) -> Timeline:
 
     Raises ``RuntimeError`` if the task graph contains a dependency cycle
     (which would indicate a construction bug, not a user error).
+
+    When the numpy kernels are enabled (the default; see
+    :mod:`repro.sim.kernels`) the sweep below is replaced by a
+    bit-identical level-batched drain; ``REPRO_SIM_KERNELS=python``
+    forces this scalar reference.
     """
+    if kernels.kernels_enabled():
+        return kernels.full_kernel(tg)
     tl = Timeline()
     arr = tg.arrays
     exe, dev, rank, tids, ckeys = arr.exe, arr.dev, arr.rank, arr.tid, arr.ckey

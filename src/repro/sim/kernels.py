@@ -1,0 +1,405 @@
+"""Numpy bulk kernels behind the timeline sweeps (Algorithm 1 and 2).
+
+The reference sweeps in :mod:`~repro.sim.full_sim` and
+:mod:`~repro.sim.delta_sim` pay one Python bytecode dispatch per task per
+proposal.  This module batches that work where the schedule structure
+allows it without changing a single output bit:
+
+* **Level-batched heap drains** -- consecutive heap pops sharing a ready
+  time form a *level*.  The drain's main loop is the reference pop loop
+  plus a two-op streak tracker, so thin levels (narrow graph regions,
+  the common case) pay essentially nothing; once a streak of equal-ready
+  pops reaches ``FAT_RUN`` the rest of the level is collected and -- when
+  every member has positive execution time, so none can schedule an
+  equal-ready successor -- the whole batch schedules in one vectorized
+  step.  A *stable* sort by device preserves the heap's ``(rank, slot)``
+  tie order inside each device, which is exactly the scalar per-device
+  execution order.
+* **Vectorized per-device end-time chain scans** -- within a device
+  segment the first task starts at ``max(readyTime, devLastEnd)`` and
+  every later one starts exactly at its chain predecessor's end
+  (positive exe keeps ends strictly past the shared ready time), so the
+  scan is a short carry loop of pure adds in the reference evaluation
+  order; float adds and maxes reproduce the scalar results bit for bit.
+* **Batched ready-time maxes** -- a batch's successor relaxation gathers
+  the CSR successor rows once, groups them by successor with one stable
+  argsort, and reduces each group's end-time max with
+  ``np.maximum.reduceat`` -- all O(batch edges), no full-width column
+  scans -- before a compact per-unique-successor scatter updates
+  ``slot_ready``/``indeg`` and releases newly-ready tasks.
+
+The delta suffix reuses the same drain without a membership test:
+non-suffix slots enter with an in-degree of zero, so the first decrement
+drives them negative and they can never reach the ``indeg == 0``
+scheduling condition again; their ``slot_ready`` updates land in scratch
+that nobody reads.  Dropping the per-edge membership probe (and the
+dict-based drain state) is what makes the kernel suffix sweep cheaper
+than the scalar reference even when no level is fat.
+
+Bit-identity is the contract (the property suites in
+``tests/sim/test_sim_kernels.py`` enforce it), which is what lets all
+timeline algorithms keep sharing one persistent-store shard.  Setting
+``REPRO_SIM_KERNELS=python`` forces the scalar reference
+implementations -- the escape hatch for debugging and for environments
+without numpy (where the kernels disable themselves).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from itertools import chain, repeat
+
+try:  # pragma: no cover - exercised via kernels_enabled() both ways
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+__all__ = ["kernels_enabled", "full_kernel", "suffix_drain", "FAT_RUN"]
+
+# Streak length at which an equal-ready level is declared fat: after this
+# many consecutive pops share a ready time, the rest of the level is
+# collected and batch-scheduled.  Below this the per-call numpy dispatch
+# overhead exceeds the scalar loop it replaces (measured crossover on the
+# Inception/16 acceptance graphs); tests drop it to exercise the
+# vectorized path on small graphs.
+FAT_RUN = 48
+
+# A collected remainder smaller than this schedules through the scalar
+# merge-drain even when all-positive -- a vectorized step's fixed
+# dispatch overhead needs this many tasks to amortize.
+_VEC_MIN = 32
+
+
+def kernels_enabled() -> bool:
+    """Whether the numpy kernels back the sweeps (checked per call)."""
+    if _np is None:
+        return False
+    return os.environ.get("REPRO_SIM_KERNELS", "").strip().lower() != "python"
+
+
+def full_kernel(tg):
+    """Algorithm 1 on the numpy kernels; bit-identical to ``full_simulate``."""
+    from .full_sim import Timeline
+
+    np = _np
+    tl = Timeline()
+    arr = tg.arrays
+    ns = arr.num_slots
+    total = arr.num_live
+    if total == 0:
+        return tl
+    # Vectorized init: in-degrees from the CSR predecessor row lengths,
+    # the frontier found in one masked scan (free slots have cleared
+    # rows, so the live mask keeps them out of the initial heap).
+    ind_np = np.fromiter(map(len, arr.ins), np.int64, count=ns)
+    live = np.frombuffer(arr.tid, dtype=np.int64) != -1
+    frontier = np.flatnonzero(live & (ind_np == 0))
+    rank_np = np.frombuffer(arr.rank, dtype=np.int64)
+    heap = list(zip(repeat(0.0), rank_np[frontier].tolist(), frontier.tolist()))
+    heapq.heapify(heap)
+    scheduled, makespan, _ = _drain(
+        heap,
+        arr,
+        ind_np.tolist(),
+        [0.0] * ns,
+        float("-inf"),
+        tl.ready,
+        tl.start,
+        tl.end,
+        tl.device_order,
+        {},
+        0.0,
+    )
+    if scheduled != total:
+        raise RuntimeError(
+            f"task graph has a cycle: scheduled {scheduled} of {total} tasks"
+        )
+    tl.makespan = makespan
+    return tl
+
+
+def suffix_drain(
+    tg,
+    suffix_slots,
+    t_cut,
+    ready,
+    start,
+    end,
+    order,
+    dev_last_end,
+    makespan,
+):
+    """Algorithm 1 over a delta suffix on the numpy kernels.
+
+    Same contract as the scalar suffix sweep in ``delta_simulate``:
+    repairs the timeline dicts in place past ``t_cut``.  Returns
+    ``(scheduled, makespan, ok)``; ``ok`` is False when a pop lands
+    before the cut (the caller's prefix-safety fallback).
+    """
+    arr = tg.arrays
+    rank, tids = arr.rank, arr.tid
+    all_ins = arr.ins
+    ns = len(tids)
+    memb = bytearray(ns)
+    for slot in suffix_slots:
+        memb[slot] = 1
+    indeg = [0] * ns
+    slot_ready = [0.0] * ns
+    heap: list[tuple[float, int, int]] = []
+    for slot in suffix_slots:
+        n = 0
+        est = 0.0
+        for p in all_ins[slot]:
+            if memb[p]:
+                n += 1
+            else:
+                pe = end[tids[p]]  # fixed predecessor: final value
+                if pe > est:
+                    est = pe
+        indeg[slot] = n
+        slot_ready[slot] = est
+        if n == 0:
+            heap.append((est, rank[slot], slot))
+    heapq.heapify(heap)
+    return _drain(
+        heap,
+        arr,
+        indeg,
+        slot_ready,
+        t_cut,
+        ready,
+        start,
+        end,
+        order,
+        dev_last_end,
+        makespan,
+    )
+
+
+def _drain(
+    heap,
+    arr,
+    indeg,
+    slot_ready,
+    t_cut,
+    ready,
+    start,
+    end,
+    order,
+    dev_last_end,
+    makespan,
+):
+    """Hybrid level-batched heap drain shared by the full and delta kernels.
+
+    ``indeg``/``slot_ready`` are dense per-slot lists (scratch, consumed).
+    Returns ``(scheduled, makespan, ok)``.
+    """
+    np = _np
+    exe, dev, rank, tids, ckeys = arr.exe, arr.dev, arr.rank, arr.tid, arr.ckey
+    all_outs = arr.outs
+    pop = heapq.heappop
+    push = heapq.heappush
+    fat = FAT_RUN
+    scheduled = 0
+    prev_r = float("-inf")
+    streak = 0
+    while heap:
+        r, rk, slot = pop(heap)
+        if r < t_cut:
+            return scheduled, makespan, False
+        tid = tids[slot]
+        d = dev[slot]
+        s = dev_last_end.get(d, 0.0)
+        if r > s:
+            s = r
+        e = s + exe[slot]
+        ready[tid] = r
+        start[tid] = s
+        end[tid] = e
+        dev_last_end[d] = e
+        if e > makespan:
+            makespan = e
+        entry = (r, ckeys[slot], tid)
+        lst = order.get(d)
+        if lst is None:
+            order[d] = [entry]
+        else:
+            lst.append(entry)
+        scheduled += 1
+        for nxt in all_outs[slot]:
+            if e > slot_ready[nxt]:
+                slot_ready[nxt] = e
+            v = indeg[nxt] - 1
+            indeg[nxt] = v
+            if v == 0:
+                push(heap, (slot_ready[nxt], rank[nxt], nxt))
+        if r != prev_r:
+            prev_r = r
+            streak = 1
+            continue
+        streak += 1
+        if streak != fat or not heap or heap[0][0] != r:
+            continue
+        # A fat equal-ready level: collect its queued remainder.
+        rks = []
+        sls = []
+        positive = True
+        while heap and heap[0][0] == r:
+            _, rk2, s2 = pop(heap)
+            rks.append(rk2)
+            sls.append(s2)
+            if positive and exe[s2] <= 0.0:
+                positive = False
+        if positive and len(sls) >= _VEC_MIN:
+            # No member can schedule an equal-ready successor (positive
+            # exe pushes strictly past r), so the collected batch is the
+            # complete remaining level: schedule it wholesale.
+            scheduled += len(sls)
+            m = _vector_step(
+                np, r, sls, arr, indeg, slot_ready,
+                ready, start, end, order, dev_last_end, heap, push,
+            )
+            if m > makespan:
+                makespan = m
+            continue
+        # Scalar merge-drain: a zero-exe member can schedule an
+        # equal-ready successor mid-run, so merge the collected batch
+        # against the heap by (rank, slot) to keep the global pop order
+        # exact.
+        for s3 in _merge_run(heap, pop, r, rks, sls):
+            tid = tids[s3]
+            d = dev[s3]
+            s = dev_last_end.get(d, 0.0)
+            if r > s:
+                s = r
+            e = s + exe[s3]
+            ready[tid] = r
+            start[tid] = s
+            end[tid] = e
+            dev_last_end[d] = e
+            if e > makespan:
+                makespan = e
+            entry = (r, ckeys[s3], tid)
+            lst = order.get(d)
+            if lst is None:
+                order[d] = [entry]
+            else:
+                lst.append(entry)
+            scheduled += 1
+            for nxt in all_outs[s3]:
+                if e > slot_ready[nxt]:
+                    slot_ready[nxt] = e
+                v = indeg[nxt] - 1
+                indeg[nxt] = v
+                if v == 0:
+                    push(heap, (slot_ready[nxt], rank[nxt], nxt))
+    return scheduled, makespan, True
+
+
+def _merge_run(heap, pop, r, rks, sls):
+    """Yield a collected batch merged with same-ready heap arrivals.
+
+    Lazy on purpose: the caller's loop body pushes successors before
+    advancing, so each step sees any equal-ready task a zero-exe member
+    just scheduled and interleaves it in exact ``(rank, slot)`` order.
+    """
+    n = len(sls)
+    i = 0
+    while i < n:
+        if heap and heap[0][0] == r and (heap[0][1], heap[0][2]) < (rks[i], sls[i]):
+            yield pop(heap)[2]
+        else:
+            yield sls[i]
+            i += 1
+
+
+def _vector_step(
+    np, r, sls, arr, indeg, slot_ready,
+    ready, start, end, order, dev_last_end, heap, push,
+):
+    """Schedule one fat equal-ready batch in bulk; returns its max end time."""
+    tids, ckeys, rank = arr.tid, arr.ckey, arr.rank
+    all_outs = arr.outs
+    sl = np.array(sls, dtype=np.int64)
+    bd = np.frombuffer(arr.dev, dtype=np.int64)[sl]
+    by_dev = np.argsort(bd, kind="stable")
+    ss = sl[by_dev]
+    sd = bd[by_dev]
+    bx = np.frombuffer(arr.exe, dtype=np.float64)[ss]
+    n = len(ss)
+    head = np.empty(n, bool)
+    head[0] = True
+    np.not_equal(sd[1:], sd[:-1], out=head[1:])
+    h = np.flatnonzero(head)
+    hd = sd[h].tolist()
+    dl = np.fromiter(
+        (dev_last_end.get(d, 0.0) for d in hd), np.float64, count=len(hd)
+    )
+    s_arr = np.empty(n)
+    e_arr = np.empty(n)
+    sh = np.maximum(r, dl)
+    s_arr[h] = sh
+    e_arr[h] = sh + bx[h]
+    if len(h) < n:
+        # Per-device chain scan: positive exe keeps every end strictly
+        # past r, so each later member starts exactly at its chain
+        # predecessor's end.  The carry loop adds in the scalar
+        # evaluation order (left fold), preserving float identity.
+        seg = np.cumsum(head) - 1
+        pos = np.arange(n) - h[seg]
+        for j in range(1, int(pos.max()) + 1):
+            nxt = np.flatnonzero(pos == j)
+            prev = e_arr[nxt - 1]
+            s_arr[nxt] = prev
+            e_arr[nxt] = prev + bx[nxt]
+    # Bulk writeback: same dict contents and same per-device append order
+    # as the scalar pops would produce.
+    ss_l = ss.tolist()
+    tds = [tids[x] for x in ss_l]
+    ready.update(zip(tds, repeat(r)))
+    start.update(zip(tds, s_arr.tolist()))
+    end.update(zip(tds, e_arr.tolist()))
+    entries = list(zip(repeat(r), (ckeys[x] for x in ss_l), tds))
+    bounds = h.tolist()
+    bounds.append(n)
+    for k, d in enumerate(hd):
+        lo, hi = bounds[k], bounds[k + 1]
+        lst = order.get(d)
+        if lst is None:
+            order[d] = entries[lo:hi]
+        else:
+            lst.extend(entries[lo:hi])
+        dev_last_end[d] = e_arr[hi - 1].item()
+    # Batched ready-time maxes over the gathered CSR successor rows,
+    # grouped by successor via one stable argsort -- everything O(batch
+    # edges).  The scatter back is per *unique* successor.  Pushes happen
+    # only once a successor's last predecessor has scheduled, so the
+    # pushed ready times are final -- and positive exe guarantees they
+    # land strictly after r, never inside this batch.
+    rows = [all_outs[x] for x in ss_l]
+    ln = np.fromiter(map(len, rows), np.int64, count=n)
+    tot = int(ln.sum())
+    if tot:
+        succ = np.fromiter(chain.from_iterable(rows), np.int64, count=tot)
+        so = np.argsort(succ, kind="stable")
+        grp = succ[so]
+        ev = np.repeat(e_arr, ln)[so]
+        first = np.empty(tot, bool)
+        first[0] = True
+        np.not_equal(grp[1:], grp[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        mx = np.maximum.reduceat(ev, starts)
+        cnt = np.empty(len(starts), np.int64)
+        np.subtract(starts[1:], starts[:-1], out=cnt[:-1])
+        cnt[-1] = tot - starts[-1]
+        for u, m, c in zip(
+            grp[starts].tolist(), mx.tolist(), cnt.tolist()
+        ):
+            if m > slot_ready[u]:
+                slot_ready[u] = m
+            v = indeg[u] - c
+            indeg[u] = v
+            if v == 0:
+                push(heap, (slot_ready[u], rank[u], u))
+    return e_arr.max().item()

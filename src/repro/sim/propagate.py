@@ -75,12 +75,13 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
+from collections import Counter
 
 from repro.sim.delta_sim import DeltaStats, _fallback, delta_simulate
 from repro.sim.full_sim import Timeline
 from repro.sim.taskgraph import TaskGraph
 
-__all__ = ["DEFAULT_GUARD_FRAC", "propagate_simulate"]
+__all__ = ["DEFAULT_GUARD_FRAC", "preflight_route", "propagate_simulate"]
 
 # Cascade-guard default: hand off once the changed set passes this
 # fraction of all tasks.  Conservative enough that real proposals on
@@ -92,6 +93,62 @@ DEFAULT_GUARD_FRAC = 0.5
 # settles a handful of times at most; a queue still busy after this many
 # pops per task indicates bookkeeping drift, not a hard graph.
 _POP_SAFETY_FACTOR = 16
+
+
+def preflight_route(
+    tg: TaskGraph,
+    tl: Timeline,
+    removed: dict,
+    dirty: set[int],
+    *,
+    guard_frac: float = DEFAULT_GUARD_FRAC,
+) -> str:
+    """Pick the incremental algorithm for a just-spliced proposal.
+
+    The cone estimator behind ``algorithm="auto"``: change propagation
+    wins when the splice's timeline impact is *localized*, and loses --
+    by an order of magnitude -- when a mutation actually moves the dense
+    post-cut region, so the router predicts the cone *before* any
+    repair work:
+
+    * **Seed fraction.**  A seed set already spanning ``guard_frac`` of
+      the graph would trip propagation's pre-flight cascade guard anyway;
+      route straight to ``"delta"`` without paying for a second check.
+    * **Per-ckey structural identity.**  Each new task is compared
+      against the removed population by ``(ckey, exe_time, device)``
+      multiset -- collectively, new-vs-removed execution totals and seed
+      fan-out per canonical key.  When the multisets match (identity
+      re-splices; topology-preserving rebuilds), every replacement task
+      schedules exactly where its predecessor did, the change cone
+      collapses on contact, and propagation terminates after touching
+      ~the seed set.  Any mismatch -- a different device placement, a
+      changed execution time, new communication structure -- moves real
+      end times, and the cone of a dense mutation approaches the whole
+      post-cut suffix: the regime the cut-time sweep's lower constant
+      factor is tuned for.
+
+    Returns ``"propagate"`` or ``"delta"``.  Only reads the pre-repair
+    timeline (new tasks are exactly the dirty ids without a timeline
+    entry), so it must run before the repair touches ``tl``.
+    """
+    total = len(tg.tasks)
+    if len(dirty) + len(removed) >= max(1.0, guard_frac * total):
+        return "delta"
+    arr = tg.arrays
+    slot_of = arr.slot_of
+    ckeys, exe, dev = arr.ckey, arr.exe, arr.dev
+    ready = tl.ready
+    new_sig: Counter = Counter()
+    for tid in dirty:
+        if tid in ready:
+            continue  # survivor with changed predecessors, not a new task
+        slot = slot_of.get(tid)
+        if slot is not None:
+            new_sig[(ckeys[slot], exe[slot], dev[slot])] += 1
+    old_sig = Counter(
+        (t.ckey, t.exe_time, t.device) for t in removed.values()
+    )
+    return "propagate" if new_sig == old_sig else "delta"
 
 
 def _locate(lst: list, r: float, tid: int) -> int:
@@ -119,7 +176,7 @@ def _give_up(tg: TaskGraph, tl: Timeline, stats: DeltaStats | None) -> Timeline:
 def propagate_simulate(
     tg: TaskGraph,
     tl: Timeline,
-    removed: dict[int, int],
+    removed: dict,
     dirty: set[int],
     stats: DeltaStats | None = None,
     *,
@@ -149,6 +206,7 @@ def propagate_simulate(
             stats.guard_fallbacks += 1
             stats.tasks_resimulated += scratch.tasks_resimulated
             stats.fallbacks += scratch.fallbacks
+            stats.saturation_handoffs += scratch.saturation_handoffs
         return tl
 
     arr = tg.arrays
@@ -208,13 +266,13 @@ def propagate_simulate(
     # Dropping a chain entry changes exactly one other task's preTask: the
     # entry that follows it.  Seed that survivor (removed followers are
     # filtered out -- their slots are already freed).
-    for tid, d in removed.items():
+    for tid, t in removed.items():
         r = ready.pop(tid, None)
         start.pop(tid, None)
         end.pop(tid, None)
         if r is None:
             continue
-        lst = order.get(d)
+        lst = order.get(t.device)
         idx = _locate(lst, r, tid) if lst is not None else -1
         if idx < 0:
             return _give_up(tg, tl, stats)  # chain/timeline drift

@@ -1,10 +1,26 @@
 """Simulator facade: a task graph plus its live timeline.
 
 Bundles the pieces the execution optimizer needs: build once, then
-:meth:`Simulator.reconfigure` one operation at a time.  Three timeline
+:meth:`Simulator.reconfigure` one operation at a time.  Four timeline
 algorithms share the same incremental task-graph update:
 
-``"delta"`` (default)
+``"auto"`` (default)
+    per-proposal routing, cheapest-first.  A proposal whose config equals
+    the operation's current config has an empty change cone: the splice
+    would rebuild the exact task structure it removes, so the router
+    skips the splice *and* the repair outright (``DeltaStats.auto_noop``)
+    -- the common case in small per-op config spaces, where random
+    proposals regularly collide with the incumbent.  Otherwise a
+    pre-flight cone estimator
+    (:func:`~repro.sim.propagate.preflight_route`) predicts whether the
+    splice's timeline impact is localized -- every replacement task
+    structurally identical (ckey, exe, device) to a removed one -- and
+    dispatches to ``"propagate"`` when so, ``"delta"`` when the change
+    cone is dense (``DeltaStats.auto_propagate`` / ``auto_delta``).
+    Dense mutations whose suffix saturates the graph degrade further to
+    the vectorized full sweep inside the cut-time algorithm itself
+    (``DeltaStats.saturation_handoffs``);
+``"delta"``
     the cut-time incremental repair (Algorithm 2, conservative variant);
 ``"propagate"``
     true change propagation (:mod:`repro.sim.propagate`): walks only
@@ -15,7 +31,7 @@ algorithms share the same incremental task-graph update:
     re-simulate from scratch (Algorithm 1) -- how the paper isolates the
     simulation algorithms in Table 4 and Figure 12.
 
-All three produce bit-identical timelines for every reachable state
+All four produce bit-identical timelines for every reachable state
 (property-tested at ``tol=0``), so the choice is pure throughput.
 """
 
@@ -27,15 +43,20 @@ from repro.profiler.profiler import OpProfiler
 from repro.sim.delta_sim import DeltaStats, delta_simulate
 from repro.sim.full_sim import Timeline, full_simulate
 from repro.sim.metrics import IterationMetrics, compute_metrics
-from repro.sim.propagate import DEFAULT_GUARD_FRAC, propagate_simulate
+from repro.sim.propagate import (
+    DEFAULT_GUARD_FRAC,
+    preflight_route,
+    propagate_simulate,
+)
 from repro.sim.taskgraph import TaskGraph
 from repro.soap.config import ParallelConfig
 from repro.soap.strategy import Strategy
 
 __all__ = ["ALGORITHMS", "Simulator", "simulate_strategy"]
 
-#: The valid ``algorithm=`` names, in "most incremental first" order.
-ALGORITHMS = ("propagate", "delta", "full")
+#: The valid ``algorithm=`` names, in "most incremental first" order
+#: (``auto`` routes between the two incremental algorithms per proposal).
+ALGORITHMS = ("auto", "propagate", "delta", "full")
 
 
 class Simulator:
@@ -48,7 +69,7 @@ class Simulator:
         strategy: Strategy,
         profiler: OpProfiler | None = None,
         training: bool = True,
-        algorithm: str = "delta",
+        algorithm: str = "auto",
         pool_snapshots: bool = True,
         propagate_guard_frac: float = DEFAULT_GUARD_FRAC,
     ):
@@ -66,6 +87,7 @@ class Simulator:
         self.delta_stats = DeltaStats()
         self.reverts = 0  # snapshot restores that replaced an undo simulation
         self._pending: Timeline | None = None
+        self._pending_noop = False  # pending proposal was an identity no-op
         # Snapshot pooling (delta algorithm only): one scratch Timeline is
         # recycled through the propose/commit/revert cycle instead of
         # allocating a fresh four-dict copy per in-flight proposal --
@@ -84,11 +106,35 @@ class Simulator:
     def strategy(self) -> Strategy:
         return self.task_graph.strategy
 
-    def _repair(self, removed: dict[int, int], dirty: set[int]) -> None:
+    def _identity(self, op_id: int, cfg: ParallelConfig) -> bool:
+        """Whether ``cfg`` equals ``op_id``'s current config (empty cone).
+
+        Group members always share one config, so the splice would remove
+        and rebuild structurally identical tasks and the repaired timeline
+        is provably the current one.  Only the auto router may act on
+        this: the named algorithms run their machinery unconditionally so
+        they stay honest benchmarking/reference configurations.
+        """
+        return self.algorithm == "auto" and cfg == self.task_graph.strategy[op_id]
+
+    def _repair(self, removed: dict, dirty: set[int]) -> None:
         """Bring the timeline up to date after a task-graph splice."""
-        if self.algorithm == "delta":
+        algo = self.algorithm
+        if algo == "auto":
+            algo = preflight_route(
+                self.task_graph,
+                self.timeline,
+                removed,
+                dirty,
+                guard_frac=self.propagate_guard_frac,
+            )
+            if algo == "propagate":
+                self.delta_stats.auto_propagate += 1
+            else:
+                self.delta_stats.auto_delta += 1
+        if algo == "delta":
             delta_simulate(self.task_graph, self.timeline, removed, dirty, self.delta_stats)
-        elif self.algorithm == "propagate":
+        elif algo == "propagate":
             propagate_simulate(
                 self.task_graph,
                 self.timeline,
@@ -107,6 +153,9 @@ class Simulator:
 
     def reconfigure(self, op_id: int, cfg: ParallelConfig) -> float:
         """Apply one configuration change; returns the new cost (us)."""
+        if self._identity(op_id, cfg):
+            self.delta_stats.auto_noop += 1
+            return self.timeline.makespan
         removed, dirty = self.task_graph.replace_config(op_id, cfg)
         self._repair(removed, dirty)
         return self.timeline.makespan
@@ -122,6 +171,14 @@ class Simulator:
         """
         if self._pending is not None:
             raise RuntimeError("previous proposal not resolved (commit or revert first)")
+        if self._identity(op_id, cfg):
+            # Empty change cone: nothing to snapshot, splice, or repair.
+            # The pending marker keeps propose/commit/revert pairing
+            # intact; resolution is a flag flip either way.
+            self.delta_stats.auto_noop += 1
+            self._pending = self.timeline
+            self._pending_noop = True
+            return self.timeline.makespan
         # The incremental algorithms (delta, propagate) repair the timeline
         # in place, so reverting needs a copy; the full algorithm builds a
         # fresh timeline and the old object can be kept as-is.  With
@@ -145,6 +202,12 @@ class Simulator:
         """Adopt the pending proposal."""
         if self._pending is None:
             raise RuntimeError("no pending proposal to commit")
+        if self._pending_noop:
+            # Identity no-op: the "snapshot" is the live timeline itself,
+            # so it must not enter the scratch pool.
+            self._pending = None
+            self._pending_noop = False
+            return
         if self._incremental and self.pool_snapshots:
             # The unused snapshot becomes the next proposal's scratch.
             self._scratch = self._pending
@@ -154,6 +217,13 @@ class Simulator:
         """Discard the pending proposal; returns the restored cost (us)."""
         if self._pending is None:
             raise RuntimeError("no pending proposal to revert")
+        if self._pending_noop:
+            # Identity no-op: no splice happened, so there is nothing to
+            # undo and the live timeline is already the pre-proposal one.
+            self._pending = None
+            self._pending_noop = False
+            self.reverts += 1
+            return self.timeline.makespan
         self.task_graph.undo_last_splice()
         if self._incremental and self.pool_snapshots:
             # The discarded (repaired-in-place) timeline becomes scratch.

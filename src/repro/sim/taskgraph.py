@@ -332,7 +332,7 @@ class TaskGraph:
     # -- incremental reconfiguration -----------------------------------------------
     def replace_config(
         self, op_id: int, new_cfg, keep_record: bool = False
-    ) -> tuple[dict[int, int], set[int]]:
+    ) -> tuple[dict[int, "Task"], set[int]]:
         """Splice the configuration of ``op_id``'s weight-sharing group.
 
         Applies ``new_cfg`` to every op sharing ``op_id``'s parameters
@@ -350,8 +350,10 @@ class TaskGraph:
         Returns
         -------
         (removed, dirty):
-            ``removed`` -- mapping of removed task id -> the device it
-            occupied (needed to detach timeline entries);
+            ``removed`` -- mapping of removed task id -> the removed
+            :class:`Task` object (consumers read its ``device`` to
+            detach timeline entries, and the auto router compares its
+            ``ckey``/``exe_time`` against the replacement tasks);
             ``dirty`` -- ids of new tasks plus surviving tasks whose
             predecessor sets changed (the seeds for delta simulation).
         """
@@ -405,7 +407,7 @@ class TaskGraph:
                 },
             )
 
-        removed: dict[int, int] = {tid: self.tasks[tid].device for tid in removed_ids}
+        removed: dict[int, Task] = {tid: self.tasks[tid] for tid in removed_ids}
         dirty: set[int] = set()
         for tid in removed_ids:
             # Frees the slot and scrubs it from surviving neighbors' rows;

@@ -108,7 +108,7 @@ class TestFailureCapture:
         stats = run_experiment(spec, root=tmp_path, progress=quiet)
         assert stats.executed == 2 and stats.errors == 1
         res = ResultsTable(tmp_path).results(spec.digest())
-        bad = res.trial_outcomes("r1")["mlp/p100x2/no_such_backend/s0/cold/inprocess"]
+        bad = res.trial_outcomes("r1")["mlp/p100x2/no_such_backend/s0/cold/inprocess/auto"]
         assert "UnknownBackendError" in bad["error"]
 
     def test_error_rows_resume_as_recorded_unless_retry(self, tmp_path):
@@ -150,8 +150,8 @@ class TestStoresAndWarmth:
         run_experiment(spec, root=tmp_path, fresh=True, progress=quiet)
         res = ResultsTable(tmp_path).results(spec.digest())
         by_trial = res.trial_outcomes("r2")
-        warm = by_trial["mlp/p100x2/mcmc/s0/warm/inprocess"]
-        cold = by_trial["mlp/p100x2/mcmc/s0/cold/inprocess"]
+        warm = by_trial["mlp/p100x2/mcmc/s0/warm/inprocess/auto"]
+        cold = by_trial["mlp/p100x2/mcmc/s0/cold/inprocess/auto"]
         assert warm["store_warm_hits"] > 0, warm
         assert cold["store_lookups"] == 0, cold  # persistence off for cold trials
         # Warmth is result-neutral.
@@ -182,6 +182,6 @@ class TestDistributed:
         assert runner._fleet_procs == []  # fleet torn down with the run
         res = ResultsTable(tmp_path).results(spec.digest())
         out = res.trial_outcomes("r1")
-        local = out["mlp/p100x2/mcmc/s0/cold/inprocess"]
-        remote = out["mlp/p100x2/mcmc/s0/cold/distributed"]
+        local = out["mlp/p100x2/mcmc/s0/cold/inprocess/auto"]
+        remote = out["mlp/p100x2/mcmc/s0/cold/distributed/auto"]
         assert remote["cost_us"] == local["cost_us"]  # executor is pure capacity

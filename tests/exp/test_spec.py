@@ -40,7 +40,7 @@ class TestExpansion:
         trials = tiny_spec().trials()
         ids = [t.trial_id for t in trials]
         assert len(set(ids)) == len(ids)
-        assert "mlp/p100x2/mcmc/s0/cold/inprocess" in ids
+        assert "mlp/p100x2/mcmc/s0/cold/inprocess/auto" in ids
 
     def test_trial_id_survives_grid_growth(self):
         # Adding axis values must not move existing ids (the resume key).
@@ -66,6 +66,10 @@ class TestValidation:
     def test_bad_store_mode_rejected(self):
         with pytest.raises(ValueError, match="store mode"):
             tiny_spec(store_modes=("lukewarm",))
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="timeline algorithm"):
+            tiny_spec(algorithms=("warp",))
 
     def test_bad_cluster_kind_rejected(self):
         with pytest.raises(ValueError, match="cluster kind"):
@@ -115,6 +119,7 @@ class TestSerialization:
             tiny_spec(clusters=(ClusterPoint("p100", 2),)),
             tiny_spec(search=SearchConfig(budget=BudgetConfig(iterations=6))),
             tiny_spec(regression_threshold=0.2),
+            tiny_spec(algorithms=("auto", "delta")),
         ]
         digests = {base.digest()} | {v.digest() for v in variants}
         assert len(digests) == len(variants) + 1

@@ -219,7 +219,7 @@ class TestFacade:
         assert sim.cost > 0
 
     def test_algorithms_tuple_exported(self):
-        assert set(ALGORITHMS) == {"full", "delta", "propagate"}
+        assert set(ALGORITHMS) == {"auto", "full", "delta", "propagate"}
 
     def test_snapshot_pooling_with_propagate(self, lenet_graph, topo4):
         """propose/commit/revert recycles snapshots for propagate too."""
