@@ -140,12 +140,19 @@ class McmcBackend:
         traces: dict = {}
         init_costs: dict[str, float] = {}
         simulations = 0
+        route_counts: dict[str, int] = {}
+        predicted_cone = actual_cone = cone_err = 0
         for r in results:
             if r.skipped:
                 continue
             traces[r.name] = r.trace
             init_costs[r.name] = r.init_cost_us
             simulations += r.trace.simulations + 1  # +1: the chain's init simulation
+            for route, n in r.trace.route_counts.items():
+                route_counts[route] = route_counts.get(route, 0) + n
+            predicted_cone += r.trace.predicted_cone_tasks
+            actual_cone += r.trace.actual_cone_tasks
+            cone_err += r.trace.cone_abs_error
             if r.best_cost_us < best_cost:
                 best_cost = r.best_cost_us
                 best_strategy = r.best_strategy
@@ -184,6 +191,11 @@ class McmcBackend:
                 "init_costs": init_costs,
                 "chains": results,
                 "workers": observed_workers,
+                # Fleet-wide timeline-repair route telemetry (auto router).
+                "route_counts": route_counts,
+                "predicted_cone_tasks": predicted_cone,
+                "actual_cone_tasks": actual_cone,
+                "cone_abs_error": cone_err,
             },
         )
 

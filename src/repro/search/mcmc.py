@@ -138,6 +138,14 @@ class SearchTrace:
     borrowed_iters: int = 0  # extra budget withdrawn from the pool (adaptive)
     checkpoints: list[tuple[int, float, float]] = field(default_factory=list)
     stop_reason: str = "iterations"
+    # Timeline-repair route telemetry, snapshotted from the simulator's
+    # DeltaStats at chain end: per-route proposal counts from the auto
+    # router (noop/propagate/delta/full) and the occupancy estimator's
+    # predicted-vs-actual repair-cone accounting.
+    route_counts: dict = field(default_factory=dict)
+    predicted_cone_tasks: int = 0
+    actual_cone_tasks: int = 0
+    cone_abs_error: int = 0
 
     def record(self, cost: float, best: float, t: float) -> None:
         self.costs.append(cost)
@@ -381,4 +389,9 @@ def mcmc_search(
 
     if not trace.checkpoints or trace.checkpoints[-1][0] != len(trace.costs):
         trace.checkpoint(len(trace.costs), best_cost, time.perf_counter() - t0)
+    st = simulator.delta_stats
+    trace.route_counts = dict(st.route_counts)
+    trace.predicted_cone_tasks = st.predicted_cone_tasks
+    trace.actual_cone_tasks = st.actual_cone_tasks
+    trace.cone_abs_error = st.cone_abs_error
     return best_strategy, best_cost, trace

@@ -78,6 +78,7 @@ class TaskArrays:
         "outs",
         "slot_of",
         "free",
+        "dev_count",
         "rank_renumbers",
         "_sorted_ckeys",
         "_ckey_idx",
@@ -96,6 +97,11 @@ class TaskArrays:
         self.outs: list[list[int]] = []  # per-slot successor slots (CSR row)
         self.slot_of: dict[int, int] = {}  # live task id -> slot
         self.free: list[int] = []  # recycled slots (LIFO)
+        # Per-device live-task occupancy (device/connection id -> count).
+        # Kept incrementally by add/discard so the auto router can
+        # predict a splice's repair cone -- live tasks at or after the
+        # cut, per device chain -- without scanning the graph.
+        self.dev_count: dict[int, int] = {}
         self.rank_renumbers = 0  # mid-table inserts; decays to 0 at saturation
         self._sorted_ckeys: list[tuple] = []  # all distinct ckeys, sorted
         # ckey -> a stable per-key index into _idx_rank (its insertion
@@ -109,6 +115,16 @@ class TaskArrays:
     def rank_of(self, ckey: tuple) -> int:
         """Current rank of an already-interned key."""
         return self._idx_rank[self._ckey_idx[ckey]]
+
+    def key_index(self, ckey: tuple) -> int:
+        """The *stable* intern index of an already-interned key.
+
+        Unlike ranks, intern indices are insertion numbers: never
+        renumbered and never reused (the table only grows), so they can
+        be memoized across splices; ``_idx_rank[key_index(k)]`` is always
+        the key's current rank.
+        """
+        return self._ckey_idx[ckey]
 
     def intern(self, ckey: tuple) -> int:
         """The rank of ``ckey``: order-preserving over all interned keys."""
@@ -157,6 +173,8 @@ class TaskArrays:
     ) -> int:
         """Assign a slot to a new live task; returns the slot."""
         rank = self.intern(ckey)
+        dc = self.dev_count
+        dc[device] = dc.get(device, 0) + 1
         if self.free:
             slot = self.free.pop()
             self.exe[slot] = exe_time
@@ -198,6 +216,7 @@ class TaskArrays:
         mutations.
         """
         slot = self.slot_of.pop(tid)
+        self.dev_count[self.dev[slot]] -= 1
         live = self.tid
         for p in self.ins[slot]:
             if live[p] != -1:
@@ -210,6 +229,39 @@ class TaskArrays:
         live[slot] = -1
         self.ckey[slot] = None
         self.free.append(slot)
+
+    def discard_batch(self, tids) -> None:
+        """Free a batch of slots at once (same contract as :meth:`discard`).
+
+        Marking the whole batch dead *before* scrubbing means intra-batch
+        edges -- the majority in a group splice, whose members are wired
+        mostly to each other -- skip the ``list.remove`` scan entirely
+        instead of each member scrubbing rows the batch is about to
+        clear anyway.  Slot free order matches sequential discards.
+        """
+        live = self.tid
+        pop = self.slot_of.pop
+        ckeys = self.ckey
+        slots = [pop(t) for t in tids]
+        dc = self.dev_count
+        devs = self.dev
+        for s in slots:
+            live[s] = -1
+            ckeys[s] = None
+            dc[devs[s]] -= 1
+        ins, outs = self.ins, self.outs
+        for s in slots:
+            row = ins[s]
+            for p in row:
+                if live[p] != -1:
+                    outs[p].remove(s)
+            row.clear()
+            row = outs[s]
+            for q in row:
+                if live[q] != -1:
+                    ins[q].remove(s)
+            row.clear()
+        self.free.extend(slots)
 
     # -- introspection -----------------------------------------------------
     @property
@@ -242,6 +294,11 @@ class TaskArrays:
             got_outs = sorted(self.tid[s] for s in self.outs[slot])
             assert got_ins == sorted(t.ins), f"ins mismatch for task {tid}"
             assert got_outs == sorted(t.outs), f"outs mismatch for task {tid}"
+        want: dict[int, int] = {}
+        for t in tasks.values():
+            want[t.device] = want.get(t.device, 0) + 1
+        got = {d: n for d, n in self.dev_count.items() if n}
+        assert got == want, f"dev_count drift: {got} != {want}"
         # Rank table is a bijection consistent with ckey ordering.
         for a, b in zip(self._sorted_ckeys, self._sorted_ckeys[1:]):
             assert a < b and self.rank_of(a) < self.rank_of(b)

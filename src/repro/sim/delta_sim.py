@@ -39,20 +39,25 @@ falls back to this algorithm (then to full simulation) behind a cascade
 guard.  Measured on Inception/16 devices
 (``benchmarks/bench_delta_propagation.py``): splices whose timeline
 impact is localized (identity re-splices; absorbed changes) repair
-~100x fewer tasks at ~10x lower wall cost, while dense random mutations
--- whose true change cone approaches the suffix, the regime this
-variant is tuned for -- stay at task parity with a slightly higher
+~100x fewer tasks -- the vectorized propagate engine replays them at
+~3.4x lower wall cost than its own scalar heap, ~20x below this
+variant -- while dense random mutations, whose true change cone
+approaches the suffix, stay at task parity with a slightly higher
 constant factor.  The default ``algorithm="auto"`` router therefore
-dispatches dense mutations here (and localized splices to
-``propagate``); this variant is also the guard's safety net and the
-reference the property suite checks the incremental algorithms against
-(all four algorithms produce bit-identical timelines, ``tol=0``).
-Under the numpy kernels a suffix that saturates the graph (>= half of
-all tasks) is handed to the vectorized full sweep -- the ``t_cut -> 0``
-limit of this algorithm, counted in
-:attr:`DeltaStats.saturation_handoffs`.  A defensive check falls back
-to full simulation if a suffix task ever becomes ready before the cut
-(never observed; counted in :attr:`DeltaStats.fallbacks`).
+sizes the cone *before* repairing: localized splices go to
+``propagate``, dense mutations land here while the predicted occupancy
+cone (per-device ``TaskArrays.dev_count`` summaries + chain bisects)
+stays under :data:`_SATURATION_FRAC` of the graph, and past that the
+router skips straight to the vectorized full sweep.  On the bench's
+mutation workload that rule routes 100% of proposals within 10% of the
+a-posteriori cheapest algorithm and leaves
+:attr:`DeltaStats.saturation_handoffs` -- this module's own mid-repair
+re-route when a suffix it accepted saturates anyway -- at zero.  This
+variant is also the guard's safety net and the reference the property
+suite checks the incremental algorithms against (all four algorithms
+produce bit-identical timelines, ``tol=0``).  A defensive check falls
+back to full simulation if a suffix task ever becomes ready before the
+cut (never observed; counted in :attr:`DeltaStats.fallbacks`).
 
 Like the full algorithm, the suffix sweep runs on the flat
 :class:`~repro.sim.arrays.TaskArrays` substrate -- static columns and
@@ -64,7 +69,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.sim import kernels
 from repro.sim.full_sim import Timeline, full_simulate
@@ -100,7 +105,18 @@ class DeltaStats:
     auto_propagate: int = 0  # auto-router proposals sent to change propagation
     auto_delta: int = 0  # auto-router proposals sent to the cut-time algorithm
     auto_noop: int = 0  # auto-router proposals short-circuited (identity config)
+    auto_full: int = 0  # auto-router proposals sent straight to the full sweep
     saturation_handoffs: int = 0  # saturated suffixes handed to the full kernel
+    # Route telemetry (auto router only): per-route proposal counts --
+    # including the pre-splice "noop" short circuit -- plus the occupancy
+    # estimator's accounting: the summed predicted repair-cone sizes, the
+    # tasks the routed algorithms actually repaired, and the accumulated
+    # absolute prediction error.  Flows through the bench grid and the
+    # repro.exp trial rows.
+    route_counts: dict = field(default_factory=dict)
+    predicted_cone_tasks: int = 0
+    actual_cone_tasks: int = 0
+    cone_abs_error: int = 0
 
     @property
     def resim_fraction(self) -> float:

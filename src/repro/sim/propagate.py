@@ -69,6 +69,31 @@ re-simulation.  Both trips are counted
 :attr:`~repro.sim.delta_sim.DeltaStats.fallbacks`); the
 ``bench_delta_propagation`` benchmark gates on a zero fallback rate for
 the smoke model.
+
+Vectorized engine and occupancy routing
+---------------------------------------
+Under the numpy kernels the drain itself is vectorized
+(:func:`repro.sim.kernels.propagate_drain`): removed tasks are detached
+from their chains in bulk, re-scans run per device as stable-argsorted
+carry scans over whole chain segments (``_chain_sweep``), waiter lists
+release in batches, and membership gates are ``bytearray`` lookups
+instead of set hashing.  Its contract adds one degree of freedom: an
+*occupancy pre-scan* -- run before anything is mutated -- counts how
+many removed entries have a structurally identical replacement and, via
+the same per-device ``dev_count`` + chain-bisect summaries the router
+uses, how many chain entries sit past the cut.  Identity-shaped splices
+(recipe replays) take a pure-rename fast path; small cones run the
+vectorized drain; anything past ``PROPAGATE_CONE_LIMIT`` is *declined*
+(the kernel returns ``None``) and this module runs the scalar heap
+engine instead.  A decline is routing, not a fallback -- the timeline
+is untouched and no ``DeltaStats`` counter moves -- and in practice the
+``auto`` router has already sent such dense mutations to the cut-time
+algorithm or the full sweep via :func:`preflight_route`, so the kernel
+path is exercised on the workload it wins: measured on Inception/16,
+~3.4x lower wall cost per identity resplice than this module's scalar
+engine (gated >= 3x in ``bench_delta_propagation``, alongside bitwise
+identity across every (algorithm, kernels) arm and >= 90% routing
+accuracy).
 """
 
 from __future__ import annotations
@@ -77,11 +102,17 @@ import heapq
 from bisect import bisect_left
 from collections import Counter
 
-from repro.sim.delta_sim import DeltaStats, _fallback, delta_simulate
+from repro.sim import kernels
+from repro.sim.delta_sim import (
+    _SATURATION_FRAC,
+    DeltaStats,
+    _fallback,
+    delta_simulate,
+)
 from repro.sim.full_sim import Timeline
 from repro.sim.taskgraph import TaskGraph
 
-__all__ = ["DEFAULT_GUARD_FRAC", "preflight_route", "propagate_simulate"]
+__all__ = ["DEFAULT_GUARD_FRAC", "predicted_cone", "preflight_route", "propagate_simulate"]
 
 # Cascade-guard default: hand off once the changed set passes this
 # fraction of all tasks.  Conservative enough that real proposals on
@@ -95,6 +126,75 @@ DEFAULT_GUARD_FRAC = 0.5
 _POP_SAFETY_FACTOR = 16
 
 
+def predicted_cone(tg: TaskGraph, tl: Timeline, removed: dict, dirty: set[int]) -> int:
+    """Predicted repair-cone size of a just-spliced proposal, in tasks.
+
+    Mirrors the cut-time algorithm's suffix *exactly*: the cut ``t_cut``
+    is the same minimum (removed tasks' old ready times, plus a memoized
+    ready lower bound through new predecessors), and the cone is counted
+    from the per-device occupancy summaries --
+
+    ``sum_d max(0, dev_count[d] - prefix_d)``
+
+    where ``prefix_d`` is one bisect for the entries of device ``d``'s
+    chain strictly before the cut (all survivors: removed entries sit at
+    or after the cut by construction) and
+    :attr:`~repro.sim.arrays.TaskArrays.dev_count` counts the device's
+    live tasks, new ones included.  The difference is precisely the
+    survivors past the cut plus the not-yet-scheduled new tasks -- the
+    suffix ``delta_simulate`` would re-simulate -- without scanning a
+    single chain.  Reads only the pre-repair timeline.
+    """
+    arr = tg.arrays
+    exe = arr.exe
+    all_ins = arr.ins
+    tids = arr.tid
+    slot_of = arr.slot_of
+    ready, end = tl.ready, tl.end
+    est_cache: dict[int, float] = {}
+
+    def ready_lb(slot: int) -> float:
+        cached = est_cache.get(slot)
+        if cached is not None:
+            return cached
+        est_cache[slot] = 0.0  # break cycles defensively; DAG in practice
+        best = 0.0
+        for p in all_ins[slot]:
+            pe = end.get(tids[p])
+            if pe is None:
+                pe = ready_lb(p) + exe[p]
+            if pe > best:
+                best = pe
+        est_cache[slot] = best
+        return best
+
+    t_cut = float("inf")
+    for tid in removed:
+        r = ready.get(tid)
+        if r is not None and r < t_cut:
+            t_cut = r
+    for tid in dirty:
+        slot = slot_of.get(tid)
+        if slot is None:
+            continue
+        est = ready_lb(slot)
+        if est < t_cut:
+            t_cut = est
+    if t_cut == float("inf"):
+        return 0
+    order = tl.device_order
+    cone = 0
+    for d, n in arr.dev_count.items():
+        if not n:
+            continue
+        lst = order.get(d)
+        if lst:
+            n -= bisect_left(lst, (t_cut,))
+        if n > 0:
+            cone += n
+    return cone
+
+
 def preflight_route(
     tg: TaskGraph,
     tl: Timeline,
@@ -102,8 +202,8 @@ def preflight_route(
     dirty: set[int],
     *,
     guard_frac: float = DEFAULT_GUARD_FRAC,
-) -> str:
-    """Pick the incremental algorithm for a just-spliced proposal.
+) -> tuple[str, int]:
+    """Pick the repair algorithm for a just-spliced proposal.
 
     The cone estimator behind ``algorithm="auto"``: change propagation
     wins when the splice's timeline impact is *localized*, and loses --
@@ -111,9 +211,17 @@ def preflight_route(
     post-cut region, so the router predicts the cone *before* any
     repair work:
 
+    * **Occupancy cone.**  :func:`predicted_cone` counts the live tasks
+      at or after the cut across the device chains -- exactly the suffix
+      the cut-time algorithm would re-simulate -- from the incrementally
+      maintained per-device occupancy summaries.  A cone saturating the
+      graph (>= the cut-time algorithm's own handoff fraction) routes
+      *straight* to the vectorized full sweep, pre-empting the mid-repair
+      saturation handoff (kernels enabled only: the scalar reference
+      keeps the pure cut-time behavior).
     * **Seed fraction.**  A seed set already spanning ``guard_frac`` of
       the graph would trip propagation's pre-flight cascade guard anyway;
-      route straight to ``"delta"`` without paying for a second check.
+      route to the dense side without paying for a second check.
     * **Per-ckey structural identity.**  Each new task is compared
       against the removed population by ``(ckey, exe_time, device)``
       multiset -- collectively, new-vs-removed execution totals and seed
@@ -127,13 +235,28 @@ def preflight_route(
       post-cut suffix: the regime the cut-time sweep's lower constant
       factor is tuned for.
 
-    Returns ``"propagate"`` or ``"delta"``.  Only reads the pre-repair
-    timeline (new tasks are exactly the dirty ids without a timeline
-    entry), so it must run before the repair touches ``tl``.
+    Returns ``(route, predicted_cone)`` where ``route`` is
+    ``"propagate"``, ``"delta"``, or ``"full"`` and ``predicted_cone``
+    is the estimator's cone size in tasks (route telemetry compares it
+    against the tasks the chosen algorithm actually repairs).  Only
+    reads the pre-repair timeline (new tasks are exactly the dirty ids
+    without a timeline entry), so it must run before the repair touches
+    ``tl``.
     """
     total = len(tg.tasks)
+    cone = predicted_cone(tg, tl, removed, dirty)
+
+    def dense() -> tuple[str, int]:
+        # A cone saturating the graph routes straight to the vectorized
+        # full sweep, pre-empting the cut-time algorithm's mid-repair
+        # saturation handoff; below the threshold the cut-time repair
+        # keeps its constant-factor edge.
+        if kernels.kernels_enabled() and cone >= _SATURATION_FRAC * total:
+            return "full", cone
+        return "delta", cone
+
     if len(dirty) + len(removed) >= max(1.0, guard_frac * total):
-        return "delta"
+        return dense()
     arr = tg.arrays
     slot_of = arr.slot_of
     ckeys, exe, dev = arr.ckey, arr.exe, arr.dev
@@ -148,20 +271,25 @@ def preflight_route(
     old_sig = Counter(
         (t.ckey, t.exe_time, t.device) for t in removed.values()
     )
-    return "propagate" if new_sig == old_sig else "delta"
+    if new_sig == old_sig:
+        # Contact-shaped: the change cone collapses on contact, whatever
+        # the occupancy past the cut -- propagation touches ~the seeds.
+        return "propagate", len(dirty)
+    return dense()
 
 
-def _locate(lst: list, r: float, tid: int) -> int:
-    """Index of ``(r, *, tid)`` in a sorted device chain; -1 if absent."""
-    idx = bisect_left(lst, (r,))
-    n = len(lst)
-    while idx < n:
-        entry = lst[idx]
-        if entry[0] != r:
-            return -1
-        if entry[2] == tid:
-            return idx
-        idx += 1
+def _locate(lst: list, r: float, ckey: tuple, tid: int) -> int:
+    """Index of ``(r, ckey, tid)`` in a sorted device chain; -1 if absent.
+
+    Chain entries are exactly these triples, so the lookup is one bisect
+    on the full key -- O(log n) even when many entries share a ready
+    time (the old implementation bisected on ``(r,)`` and scanned the
+    equal-time run linearly, which dense levels made quadratic).
+    """
+    entry = (r, ckey, tid)
+    idx = bisect_left(lst, entry)
+    if idx < len(lst) and lst[idx] == entry:
+        return idx
     return -1
 
 
@@ -209,6 +337,27 @@ def propagate_simulate(
             stats.saturation_handoffs += scratch.saturation_handoffs
         return tl
 
+    # ---- vectorized engine ------------------------------------------------
+    # The batched-front drain in repro.sim.kernels settles the same fixed
+    # point through the same float operations (the A/B property suite in
+    # tests/sim/test_propagate_kernels.py holds both engines to bitwise
+    # agreement); the scalar queue below is the reference it is checked
+    # against, selected with REPRO_SIM_KERNELS=python.
+    if kernels.kernels_enabled():
+        res = kernels.propagate_drain(tg, tl, removed, dirty)
+    else:
+        res = None
+    if res is not None:  # None: occupancy pre-scan routed to the scalar engine
+        rec, skips, ok = res
+        if not ok:
+            return _give_up(tg, tl, stats)
+        if stats is not None:
+            stats.propagated_tasks += rec
+            stats.branch_skips += skips
+            stats.tasks_resimulated += rec
+        _tail_makespan(tl)
+        return tl
+
     arr = tg.arrays
     exe, dev, rank, tids, ckeys = arr.exe, arr.dev, arr.rank, arr.tid, arr.ckey
     all_ins, all_outs = arr.ins, arr.outs
@@ -251,7 +400,7 @@ def propagate_simulate(
             detached.add(slot)  # new task: no entry to pull
             return True
         lst = order.get(dev[slot])
-        idx = _locate(lst, old, tid) if lst is not None else -1
+        idx = _locate(lst, old, ckeys[slot], tid) if lst is not None else -1
         if idx < 0:
             return False
         del lst[idx]
@@ -273,7 +422,7 @@ def propagate_simulate(
         if r is None:
             continue
         lst = order.get(t.device)
-        idx = _locate(lst, r, tid) if lst is not None else -1
+        idx = _locate(lst, r, t.ckey, tid) if lst is not None else -1
         if idx < 0:
             return _give_up(tg, tl, stats)  # chain/timeline drift
         del lst[idx]
@@ -381,7 +530,7 @@ def propagate_simulate(
 
             oidx = -1
             if old_r is not None and slot not in detached:
-                oidx = _locate(lst, old_r, tid)
+                oidx = _locate(lst, old_r, ckeys[slot], tid)
                 if oidx < 0:
                     return _give_up(tg, tl, stats)
 
@@ -498,12 +647,17 @@ def propagate_simulate(
         stats.branch_skips += skips
         stats.tasks_resimulated += len(recomputed)
 
-    # Makespan from the chain tails: O(#devices), not O(#tasks).
+    _tail_makespan(tl)
+    return tl
+
+
+def _tail_makespan(tl: Timeline) -> None:
+    """Makespan from the chain tails: O(#devices), not O(#tasks)."""
+    end = tl.end
     makespan = 0.0
-    for lst in order.values():
+    for lst in tl.device_order.values():
         if lst:
             e = end[lst[-1][2]]
             if e > makespan:
                 makespan = e
     tl.makespan = makespan
-    return tl

@@ -15,11 +15,19 @@ algorithms share the same incremental task-graph update:
     (:func:`~repro.sim.propagate.preflight_route`) predicts whether the
     splice's timeline impact is localized -- every replacement task
     structurally identical (ckey, exe, device) to a removed one -- and
-    dispatches to ``"propagate"`` when so, ``"delta"`` when the change
-    cone is dense (``DeltaStats.auto_propagate`` / ``auto_delta``).
-    Dense mutations whose suffix saturates the graph degrade further to
-    the vectorized full sweep inside the cut-time algorithm itself
-    (``DeltaStats.saturation_handoffs``);
+    dispatches to ``"propagate"`` when so (``DeltaStats.auto_propagate``).
+    Dense mutations are sized *before* any repair runs, against the
+    per-device occupancy summaries ``TaskArrays.dev_count`` keeps
+    incrementally across splices: the predicted repair cone (tasks at or
+    after the cut time, one bisect per occupied chain --
+    :func:`~repro.sim.propagate.predicted_cone`) routes to ``"delta"``
+    when under half the graph (``auto_delta``), else straight to the
+    vectorized full sweep (``auto_full``) without paying the cut-time
+    machinery first.  Every decision lands in
+    ``DeltaStats.route_counts`` and the predicted-vs-actual cone sizes
+    in ``predicted_cone_tasks`` / ``actual_cone_tasks`` /
+    ``cone_abs_error``, and the telemetry rides through
+    ``SearchTrace`` into the bench grid and ``repro.exp`` trial rows;
 ``"delta"``
     the cut-time incremental repair (Algorithm 2, conservative variant);
 ``"propagate"``
@@ -120,8 +128,10 @@ class Simulator:
     def _repair(self, removed: dict, dirty: set[int]) -> None:
         """Bring the timeline up to date after a task-graph splice."""
         algo = self.algorithm
+        st = self.delta_stats
+        predicted = None
         if algo == "auto":
-            algo = preflight_route(
+            algo, predicted = preflight_route(
                 self.task_graph,
                 self.timeline,
                 removed,
@@ -129,22 +139,40 @@ class Simulator:
                 guard_frac=self.propagate_guard_frac,
             )
             if algo == "propagate":
-                self.delta_stats.auto_propagate += 1
+                st.auto_propagate += 1
+            elif algo == "full":
+                st.auto_full += 1
             else:
-                self.delta_stats.auto_delta += 1
+                st.auto_delta += 1
+            st.route_counts[algo] = st.route_counts.get(algo, 0) + 1
+            resim0 = st.tasks_resimulated
         if algo == "delta":
-            delta_simulate(self.task_graph, self.timeline, removed, dirty, self.delta_stats)
+            delta_simulate(self.task_graph, self.timeline, removed, dirty, st)
         elif algo == "propagate":
             propagate_simulate(
                 self.task_graph,
                 self.timeline,
                 removed,
                 dirty,
-                self.delta_stats,
+                st,
                 guard_frac=self.propagate_guard_frac,
             )
+        elif predicted is not None:
+            # Auto-routed full sweep: a routing destination, not a
+            # fallback -- the occupancy cone saturated the graph, so the
+            # vectorized Algorithm 1 is predicted cheapest outright.
+            # Accounted like the saturation handoff it pre-empts.
+            st.invocations += 1
+            st.tasks_total += len(self.task_graph.tasks)
+            st.tasks_resimulated += len(self.task_graph.tasks)
+            self.timeline = full_simulate(self.task_graph)
         else:
             self.timeline = full_simulate(self.task_graph)
+        if predicted is not None:
+            actual = st.tasks_resimulated - resim0
+            st.predicted_cone_tasks += predicted
+            st.actual_cone_tasks += actual
+            st.cone_abs_error += abs(predicted - actual)
 
     @property
     def _incremental(self) -> bool:
@@ -154,7 +182,9 @@ class Simulator:
     def reconfigure(self, op_id: int, cfg: ParallelConfig) -> float:
         """Apply one configuration change; returns the new cost (us)."""
         if self._identity(op_id, cfg):
-            self.delta_stats.auto_noop += 1
+            st = self.delta_stats
+            st.auto_noop += 1
+            st.route_counts["noop"] = st.route_counts.get("noop", 0) + 1
             return self.timeline.makespan
         removed, dirty = self.task_graph.replace_config(op_id, cfg)
         self._repair(removed, dirty)
@@ -176,6 +206,9 @@ class Simulator:
             # The pending marker keeps propose/commit/revert pairing
             # intact; resolution is a flag flip either way.
             self.delta_stats.auto_noop += 1
+            self.delta_stats.route_counts["noop"] = (
+                self.delta_stats.route_counts.get("noop", 0) + 1
+            )
             self._pending = self.timeline
             self._pending_noop = True
             return self.timeline.makespan

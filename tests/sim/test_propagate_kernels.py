@@ -1,0 +1,275 @@
+"""Vectorized propagate engine == scalar heap engine, bit for bit.
+
+:func:`repro.sim.kernels.propagate_drain` has one extra degree of
+freedom compared to the full/suffix kernels: after its occupancy
+pre-scan it may *decline* a repair (return ``None``), in which case
+``propagate_simulate`` runs the scalar heap engine -- that is routing,
+not a fallback, and must not show up in ``DeltaStats``.  These suites
+pin down both halves A/B by flipping ``REPRO_SIM_KERNELS``:
+
+* repairs the kernel accepts (identity resplices, small cones) land on
+  timelines bitwise equal to the scalar engine's -- same costs, same
+  dict contents, same per-device order lists;
+* repairs it declines (dense mutations past ``PROPAGATE_CONE_LIMIT``)
+  reach the same fixed point through the scalar engine;
+* the guard / park / give-up paths stay bit-identical even when forced
+  by extreme thresholds, because a mid-flight abort re-simulates from
+  scratch and the fixed point is unique.
+
+Thresholds (``FAT_RUN``, ``_VEC_MIN``, ``PROPAGATE_CONE_LIMIT``) are
+monkeypatched low/high so the batched paths actually fire on test-sized
+graphs; at production values only wide levels take them.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.clusters import single_node
+from repro.models.mlp import mlp
+from repro.profiler.profiler import OpProfiler
+from repro.sim import kernels
+from repro.sim.full_sim import full_simulate
+from repro.sim.propagate import _locate, propagate_simulate
+from repro.sim.simulator import Simulator
+from repro.sim.taskgraph import TaskGraph
+from repro.soap.presets import data_parallelism
+from repro.soap.space import ConfigSpace
+
+
+class TestKernelModeValidation:
+    def test_typo_raises_value_error(self, monkeypatch):
+        """A typo'd REPRO_SIM_KERNELS must fail loudly, not silently
+        select the kernels (the escape hatch's failure mode)."""
+        for bad in ("phyton", "nmupy", "on", "0"):
+            monkeypatch.setenv("REPRO_SIM_KERNELS", bad)
+            with pytest.raises(ValueError, match="REPRO_SIM_KERNELS"):
+                kernels.kernels_enabled()
+
+    def test_valid_modes_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "python")
+        assert kernels.kernels_enabled() is False
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "NumPy")  # case-folded
+        assert kernels.kernels_enabled() is True
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "")
+        assert kernels.kernels_enabled() is True
+
+    def test_typo_fails_the_simulation_too(self, lenet_graph, topo4, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "phyton")
+        tg = TaskGraph(
+            lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler()
+        )
+        with pytest.raises(ValueError, match="REPRO_SIM_KERNELS"):
+            full_simulate(tg)
+
+
+class TestLocateDuplicateTimeRuns:
+    def test_bisect_on_full_triple(self):
+        """Device chains routinely hold long runs of equal ready times
+        (a data-parallel level lands together); _locate must find any
+        member of the run by one bisect on the full (r, ckey, tid) key,
+        not a linear scan of the run."""
+        r = 7.25
+        lst = [(r, ("op", k % 5), 100 + k) for k in range(64)]
+        lst.sort()
+        for idx, (rr, ck, tid) in enumerate(lst):
+            assert _locate(lst, rr, ck, tid) == idx
+
+    def test_absent_entries_in_duplicate_run(self):
+        r = 1.5
+        lst = sorted((r, ("c", k), k) for k in range(16))
+        assert _locate(lst, r, ("c", 3), 999) == -1  # tid not in run
+        assert _locate(lst, r, ("z",), 3) == -1  # ckey past the run
+        assert _locate(lst, 2.5, ("c", 3), 3) == -1  # time not present
+        assert _locate([], r, ("c", 0), 0) == -1
+
+    def test_mixed_times_and_runs(self):
+        lst = sorted(
+            [(0.0, ("a",), 1), (0.0, ("a",), 2), (0.0, ("b",), 3), (4.0, ("a",), 4)]
+        )
+        for idx, (rr, ck, tid) in enumerate(lst):
+            assert _locate(lst, rr, ck, tid) == idx
+        assert _locate(lst, 0.0, ("a",), 3) == -1
+
+
+def _mutation_chain(graph, topo, seed, steps, identity_every=3):
+    """A deterministic proposal chain mixing mutations and identity
+    resplices (the propagate engine's two regimes)."""
+    space = ConfigSpace(graph, topo)
+    rng = np.random.default_rng(seed)
+    muts = []
+    for k in range(steps):
+        oid = int(rng.choice(graph.op_ids))
+        if k % identity_every == identity_every - 1:
+            muts.append((oid, None))  # identity resplice
+        else:
+            muts.append((oid, space.random_config(oid, rng)))
+    return muts
+
+
+def _drive_ab(graph, topo, muts, algorithm="propagate"):
+    """Run one chain under both kernel modes; assert bitwise identity at
+    every step and return the two simulators."""
+    outcomes = {}
+    for mode in ("python", "numpy"):
+        os.environ["REPRO_SIM_KERNELS"] = mode
+        sim = Simulator(
+            graph, topo, data_parallelism(graph, topo), OpProfiler(),
+            algorithm=algorithm,
+        )
+        costs = []
+        for oid, cfg in muts:
+            if cfg is None:
+                cfg = sim.strategy[oid]
+            costs.append(sim.reconfigure(oid, cfg))
+        outcomes[mode] = (costs, sim)
+    costs_py, sim_py = outcomes["python"]
+    costs_np, sim_np = outcomes["numpy"]
+    assert costs_np == costs_py  # bitwise, every step
+    assert sim_np.timeline.equals(sim_py.timeline, tol=0.0)
+    # Compare occupied chains only: a device whose last task migrated
+    # away may keep an empty [] entry in one engine and no key in the
+    # other -- same schedule either way.
+    chains = lambda tl: {d: c for d, c in tl.device_order.items() if c}
+    assert chains(sim_np.timeline) == chains(sim_py.timeline)
+    return sim_py, sim_np
+
+
+class TestPropagateKernelBitIdentity:
+    def test_lenet_mixed_chain(self, lenet_graph, topo4, monkeypatch):
+        monkeypatch.setattr(kernels, "FAT_RUN", 2)
+        monkeypatch.setattr(kernels, "_VEC_MIN", 2)
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "python")  # restored by monkeypatch
+        sim_py, sim_np = _drive_ab(
+            lenet_graph, topo4, _mutation_chain(lenet_graph, topo4, 11, 24)
+        )
+        # Declines route to the scalar engine -- they are NOT fallbacks.
+        assert sim_np.delta_stats.fallbacks == 0
+        assert sim_py.delta_stats.fallbacks == 0
+
+    def test_multinode_production_thresholds(
+        self, lenet_graph, multinode, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "python")
+        _drive_ab(
+            lenet_graph, multinode, _mutation_chain(lenet_graph, multinode, 5, 18)
+        )
+
+    def test_forced_decline_always_scalar(self, lenet_graph, topo4, monkeypatch):
+        """PROPAGATE_CONE_LIMIT=0 declines every non-identity repair: the
+        numpy arm becomes scalar-engine-for-mutations and must still be
+        bitwise identical, with zero recorded fallbacks."""
+        monkeypatch.setattr(kernels, "PROPAGATE_CONE_LIMIT", 0)
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "python")
+        sim_py, sim_np = _drive_ab(
+            lenet_graph, topo4, _mutation_chain(lenet_graph, topo4, 13, 15)
+        )
+        assert sim_np.delta_stats.fallbacks == 0
+
+    def test_forced_accept_huge_cone(self, lenet_graph, topo4, monkeypatch):
+        """An unbounded cone limit forces the kernel to attempt every
+        dense repair, driving the batched detach / chain re-scan / waiter
+        machinery; a mid-flight give-up re-simulates from scratch, so the
+        fixed point stays bitwise identical either way."""
+        monkeypatch.setattr(kernels, "FAT_RUN", 2)
+        monkeypatch.setattr(kernels, "_VEC_MIN", 2)
+        monkeypatch.setattr(kernels, "PROPAGATE_CONE_LIMIT", 10**9)
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "python")
+        _drive_ab(lenet_graph, topo4, _mutation_chain(lenet_graph, topo4, 17, 12))
+
+    def test_forced_guard_path(self, lenet_graph, topo4, monkeypatch):
+        """guard_frac=0.0 trips the seed-set guard on every repair: the
+        propagate engine hands off to delta before touching the timeline
+        (counted in guard_fallbacks, never a mid-flight abort)."""
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "numpy")
+        tg = TaskGraph(
+            lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler()
+        )
+        tl = full_simulate(tg)
+        space = ConfigSpace(lenet_graph, topo4)
+        rng = np.random.default_rng(3)
+        oid = lenet_graph.id_of("conv1")
+        cfg = space.random_config(oid, rng)
+        while cfg == tg.strategy[oid]:
+            cfg = space.random_config(oid, rng)
+        removed, dirty = tg.replace_config(oid, cfg)
+        from repro.sim.delta_sim import DeltaStats
+
+        stats = DeltaStats()
+        out = propagate_simulate(tg, tl, removed, dirty, stats, guard_frac=0.0)
+        assert stats.guard_fallbacks == 1
+        assert out.equals(full_simulate(tg), tol=0.0)
+
+    def test_identity_resplices_only(self, lenet_graph, topo4, monkeypatch):
+        """The kernel's home turf: every proposal is an identity resplice
+        (recipe replay), taking the rename fast path once recipes warm."""
+        monkeypatch.setenv("REPRO_SIM_KERNELS", "python")
+        muts = [(oid, None) for oid in lenet_graph.op_ids] * 2
+        sim_py, sim_np = _drive_ab(lenet_graph, topo4, muts)
+        assert sim_np.delta_stats.fallbacks == 0
+        assert sim_np.delta_stats.guard_fallbacks == 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_graphs(self, seed):
+        graph = mlp(batch=16, in_dim=32, hidden=(48, 24), num_classes=8)
+        topo = single_node(4, "p100")
+        saved = (kernels.FAT_RUN, kernels._VEC_MIN)
+        kernels.FAT_RUN = kernels._VEC_MIN = 2
+        try:
+            _drive_ab(graph, topo, _mutation_chain(graph, topo, seed, 12))
+        finally:
+            os.environ.pop("REPRO_SIM_KERNELS", None)
+            kernels.FAT_RUN, kernels._VEC_MIN = saved
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_revert_heavy_traces(self, seed):
+        """Revert-heavy MCMC access pattern under algorithm="propagate":
+        commits, snapshot reverts, and apply-then-undo pairs stay bitwise
+        equal across kernel modes at every step."""
+        graph = mlp(batch=16, in_dim=32, hidden=(32,), num_classes=8)
+        topo = single_node(3, "p100")
+        saved = (kernels.FAT_RUN, kernels._VEC_MIN)
+        kernels.FAT_RUN = kernels._VEC_MIN = 2
+        try:
+            sims = {}
+            for mode in ("python", "numpy"):
+                os.environ["REPRO_SIM_KERNELS"] = mode
+                sims[mode] = Simulator(
+                    graph, topo, data_parallelism(graph, topo), OpProfiler(),
+                    algorithm="propagate",
+                )
+            space = ConfigSpace(graph, topo)
+            rng = np.random.default_rng(seed)
+            for step in range(16):
+                oid = int(rng.choice(graph.op_ids))
+                style = rng.random()
+                cfg = (
+                    sims["python"].strategy[oid]
+                    if style < 0.25  # identity resplice
+                    else space.random_config(oid, rng)
+                )
+                costs = {}
+                for mode, sim in sims.items():
+                    os.environ["REPRO_SIM_KERNELS"] = mode
+                    if style < 0.55:  # committed proposal
+                        costs[mode] = sim.propose(oid, cfg)
+                        sim.commit()
+                    elif style < 0.85:  # rejected proposal (revert-heavy)
+                        sim.propose(oid, cfg)
+                        costs[mode] = sim.revert()
+                    else:  # apply-then-undo pair
+                        old = sim.strategy[oid]
+                        sim.reconfigure(oid, cfg)
+                        costs[mode] = sim.reconfigure(oid, old)
+                assert costs["numpy"] == costs["python"], f"step {step}"
+                assert sims["numpy"].timeline.equals(
+                    sims["python"].timeline, tol=0.0
+                ), f"step {step}"
+        finally:
+            os.environ.pop("REPRO_SIM_KERNELS", None)
+            kernels.FAT_RUN, kernels._VEC_MIN = saved

@@ -219,7 +219,9 @@ class TestAutoRouting:
         tl = full_simulate(tg)
         oid = lenet_graph.id_of("conv1")
         removed, dirty = tg.replace_config(oid, tg.strategy[oid])
-        assert preflight_route(tg, tl, removed, dirty) == "propagate"
+        route, cone = preflight_route(tg, tl, removed, dirty)
+        assert route == "propagate"
+        assert cone == len(dirty)
 
     def test_preflight_dense_mutation_routes_to_delta(self, lenet_graph, topo4, rng):
         tg = TaskGraph(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
@@ -230,7 +232,11 @@ class TestAutoRouting:
         while cfg == tg.strategy[oid]:
             cfg = space.random_config(oid, rng)
         removed, dirty = tg.replace_config(oid, cfg)
-        assert preflight_route(tg, tl, removed, dirty) == "delta"
+        route, cone = preflight_route(tg, tl, removed, dirty)
+        # Dense side: the cut-time algorithm, or -- when the occupancy
+        # cone saturates the graph under the kernels -- the full sweep.
+        assert route in ("delta", "full")
+        assert cone > 0
 
     def test_preflight_guard_kicks_to_delta_on_huge_seed_sets(
         self, lenet_graph, topo4
@@ -238,7 +244,8 @@ class TestAutoRouting:
         tg = TaskGraph(lenet_graph, topo4, data_parallelism(lenet_graph, topo4), OpProfiler())
         tl = full_simulate(tg)
         everything = set(tg.tasks)
-        assert preflight_route(tg, tl, {}, everything) == "delta"
+        route, _ = preflight_route(tg, tl, {}, everything)
+        assert route in ("delta", "full")
 
     def test_auto_counts_router_decisions(self, lenet_graph, topo4, rng):
         sim = Simulator(
@@ -251,7 +258,15 @@ class TestAutoRouting:
         while cfg == sim.strategy[oid]:
             cfg = space.random_config(oid, rng)
         sim.reconfigure(oid, cfg)
-        assert sim.delta_stats.auto_delta == 1
+        st = sim.delta_stats
+        # Dense mutation: routed to the cut-time algorithm, or straight
+        # to the full sweep when the occupancy cone saturates the graph.
+        assert st.auto_delta + st.auto_full == 1
+        assert sum(st.route_counts.values()) == 1
+        assert st.actual_cone_tasks > 0
+        # The occupancy estimator mirrors the cut-time suffix, so its
+        # prediction is within the handful of boundary tasks.
+        assert st.cone_abs_error <= 0.1 * st.actual_cone_tasks
 
     def test_auto_identity_reconfigure_is_a_noop(self, lenet_graph, topo4):
         """cfg == current config short-circuits before the splice: no
